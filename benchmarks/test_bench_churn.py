@@ -1,0 +1,20 @@
+"""Benchmark: the churn extension — selection under peer churn."""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig, churn
+
+from benchmarks.conftest import emit
+
+
+def test_bench_churn(benchmark):
+    config = ExperimentConfig(seed=2007, repetitions=3)
+    result = benchmark.pedantic(churn.run, args=(config,), rounds=1, iterations=1)
+    assert result.completion_rate("economic") > result.completion_rate("blind")
+    assert result.completion_rate("economic") >= 0.9
+    emit(
+        "Extension — peer churn: blind vs informed placement "
+        f"(blind completes {result.completion_rate('blind'):.0%}, "
+        f"economic {result.completion_rate('economic'):.0%})",
+        result.table(),
+    )

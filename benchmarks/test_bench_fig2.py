@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 2 (petition reception time per peer)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_petition
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig2(benchmark, paper_config):
+    result = benchmark.pedantic(
+        fig2_petition.run, args=(paper_config,), rounds=1, iterations=1
+    )
+    # Shape: every mean within the calibration band; SC7 the straggler.
+    for label, summary in result.summaries.items():
+        target = result.targets[label]
+        assert abs(summary.mean - target) <= max(0.25 * target, 0.05), label
+    assert result.slowest_peer() == "SC7"
+    emit("Figure 2 — time in receiving the petition (5 reps)", result.table())
+    emit("Figure 2 — bars", result.bars())

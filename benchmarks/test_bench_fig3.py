@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (50 Mb transmission time per peer)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_fulltransfer
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig3(benchmark, paper_config):
+    result = benchmark.pedantic(
+        fig3_fulltransfer.run, args=(paper_config,), rounds=1, iterations=1
+    )
+    assert result.slowest_peer() == "SC7"
+    emit("Figure 3 — transmission time for a file of 50 Mb", result.table())
+    emit("Figure 3 — bars", result.bars())

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (transmission time of the last Mb)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_lastmb
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig4(benchmark, paper_config):
+    result = benchmark.pedantic(
+        fig4_lastmb.run, args=(paper_config,), rounds=1, iterations=1
+    )
+    ratio = result.straggler_ratio()
+    assert 2.0 <= ratio <= 4.0  # paper: "from 2 to 4 times slower"
+    emit(
+        f"Figure 4 — transmission time of the last Mb (SC7 ratio {ratio:.2f}x)",
+        result.table(),
+    )

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 5 (whole vs 4 vs 16 parts, 100 Mb)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_granularity
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig5(benchmark, paper_config):
+    result = benchmark.pedantic(
+        fig5_granularity.run, args=(paper_config,), rounds=1, iterations=1
+    )
+    for peer in result.peers():
+        assert (
+            result.mean_seconds(peer, 1)
+            > result.mean_seconds(peer, 4)
+            > result.mean_seconds(peer, 16)
+        ), peer
+    assert 1.0 <= result.grand_mean_minutes(16) <= 3.0
+    assert result.grand_mean_minutes(1) >= 5 * result.grand_mean_minutes(16)
+    emit(
+        "Figure 5 — 100 Mb: complete file vs 4 parts vs 16 parts "
+        f"(16-part grand mean {result.grand_mean_minutes(16):.2f} min; "
+        "paper: ~1.7 min)",
+        result.table(),
+    )

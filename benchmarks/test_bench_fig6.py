@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (three peer-selection models)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_selection
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig6(benchmark, paper_config):
+    result = benchmark.pedantic(
+        fig6_selection.run, args=(paper_config,), rounds=1, iterations=1
+    )
+    e4 = result.cost("economic", 4)
+    s4 = result.cost("same_priority", 4)
+    q4 = result.cost("quick_peer", 4)
+    assert e4 < s4 < q4  # paper's 4-part ordering
+    assert result.spread(16) < result.spread(4)  # convergence at 16 parts
+    emit(
+        "Figure 6 — file transmission cost by selection model "
+        f"(4p spread {result.spread(4):.2f}x -> 16p spread "
+        f"{result.spread(16):.2f}x)",
+        result.table(),
+    )

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 7 (execution vs transmission & execution)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_execution
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig7(benchmark, paper_config):
+    result = benchmark.pedantic(
+        fig7_execution.run, args=(paper_config,), rounds=1, iterations=1
+    )
+    for peer in result.peers():
+        assert result.both_minutes(peer) >= result.exec_minutes(peer)
+    shares = {p: result.transfer_share(p) for p in result.peers()}
+    assert max(shares, key=shares.get) == "SC7"
+    emit(
+        "Figure 7 — just execution vs transmission & execution "
+        f"(SC7 transfer share {shares['SC7']:.0%})",
+        result.table(),
+    )

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the DES kernel and the transport hot paths.
+
+Not a paper artifact — these track the simulator's own performance so
+regressions in the hot loops (heap scheduling, flow reconciliation)
+are visible, per the HPC guide's "no optimization without measuring".
+"""
+
+from __future__ import annotations
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.rng import RandomStreams
+from repro.simnet.transport import Network
+from repro.units import mbit
+
+from tests.conftest import make_two_node_topology
+
+N_EVENTS = 20_000
+
+
+def _timeout_churn():
+    sim = Simulator()
+    count = 0
+
+    def proc():
+        nonlocal count
+        for _ in range(N_EVENTS // 10):
+            yield 1.0
+            count += 1
+
+    for _ in range(10):
+        sim.process(proc())
+    sim.run()
+    return count
+
+
+def test_bench_kernel_timeout_churn(benchmark):
+    count = benchmark(_timeout_churn)
+    assert count == N_EVENTS
+
+
+def _flow_churn():
+    sim = Simulator()
+    net = Network(sim, make_two_node_topology(), streams=RandomStreams(1))
+    a, b = net.host("a.example"), net.host("b.example")
+    done = []
+    for _ in range(200):
+        done.append(a.start_flow(b, mbit(1)))
+    sim.run(until=sim.all_of(done))
+    return len(done)
+
+
+def test_bench_flow_scheduler_churn(benchmark):
+    n = benchmark(_flow_churn)
+    assert n == 200
+
+
+def _message_churn():
+    sim = Simulator()
+    net = Network(sim, make_two_node_topology(), streams=RandomStreams(2))
+    a, b = net.host("a.example"), net.host("b.example")
+
+    class Ping:
+        pass
+
+    for _ in range(2000):
+        a.send(b, Ping())
+    sim.run()
+    return b.messages_received
+
+
+def test_bench_message_churn(benchmark):
+    n = benchmark(_message_churn)
+    assert n == 2000

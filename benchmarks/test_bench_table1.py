@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (the PlanetLab slice catalog)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_nodes
+
+from benchmarks.conftest import emit
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(table1_nodes.run)
+    assert result.n_nodes == 25
+    emit("Table 1 — nodes added to the PlanetLab slice", result.table())

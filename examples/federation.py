@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Multi-broker federation: two governors, one peer population.
+
+JXTA-Overlay's brokers "act as governors of the P2P network" — plural.
+This example runs two brokers (the nozomi cluster head and a second
+governor on planetlab2.upc.es), registers half the SimpleClients with
+each, federates them, and shows a transfer placed by broker A onto a
+peer it only knows through broker B's registry digests.
+
+Run:  python examples/federation.py
+"""
+
+from __future__ import annotations
+
+from repro.overlay.broker import Broker
+from repro.overlay.client import SimpleClient
+from repro.overlay.ids import IdFactory
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.scheduling import SchedulingBasedSelector
+from repro.simnet.kernel import Simulator
+from repro.simnet.planetlab import build_testbed
+from repro.simnet.rng import RandomStreams
+from repro.simnet.transport import Network
+from repro.units import fmt_seconds, mbit
+
+SECOND_BROKER = "planetlab2.upc.es"
+
+
+def main() -> None:
+    testbed = build_testbed(include_full_slice=True)
+    sim = Simulator()
+    net = Network(sim, testbed.topology, streams=RandomStreams(17))
+    ids = IdFactory()
+
+    broker_a = Broker(net, testbed.broker_hostname, ids, name="broker-A")
+    broker_b = Broker(net, SECOND_BROKER, ids, name="broker-B")
+    labels = testbed.sc_labels()
+    clients = {
+        label: SimpleClient(net, testbed.sc_hostname(label), ids, name=label)
+        for label in labels
+    }
+
+    def scenario():
+        # Half the peers join each broker.
+        for i, label in enumerate(labels):
+            home = broker_a if i % 2 == 0 else broker_b
+            yield sim.process(clients[label].connect(home.advertisement()))
+        print("broker-A local peers:",
+              sorted(r.adv.name for r in broker_a.candidates(include_remote=False)))
+        print("broker-B local peers:",
+              sorted(r.adv.name for r in broker_b.candidates(include_remote=False)))
+
+        # Federate (symmetric mesh) and let digests flow.
+        broker_a.peer_with(broker_b.advertisement())
+        broker_b.peer_with(broker_a.advertisement())
+        yield 5.0
+        print("\nafter federation, broker-A sees:",
+              sorted(r.adv.name for r in broker_a.candidates()))
+
+        # Build a little history, then select across the federation.
+        for label in labels:
+            yield sim.process(
+                broker_a.transfers.send_file(
+                    clients[label].advertisement(), f"probe-{label}", mbit(5)
+                )
+            )
+        selector = SchedulingBasedSelector(reserve=False)
+        ctx = SelectionContext(
+            broker=broker_a,
+            now=sim.now,
+            workload=Workload(transfer_bits=mbit(20), n_parts=4),
+            candidates=broker_a.candidates(),
+        )
+        record = selector.select(ctx)
+        origin = "locally registered" if record.is_local else (
+            "learned via federation digests"
+        )
+        print(f"\nbroker-A's economic pick: {record.adv.name} ({origin})")
+
+        outcome = yield sim.process(
+            broker_a.transfers.send_file(
+                record.adv, "cross-governor-payload", mbit(20), n_parts=4
+            )
+        )
+        print(f"transfer completed in {fmt_seconds(outcome.transmission_time)}")
+
+    p = sim.process(scenario())
+    sim.run(until=p)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Table 1 and Figures 2-7 with paper-vs-measured columns where
+the paper gives numbers.  Takes a couple of seconds.
+
+Run:  python examples/reproduce_paper.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig2_petition,
+    fig3_fulltransfer,
+    fig4_lastmb,
+    fig5_granularity,
+    fig6_selection,
+    fig7_execution,
+    table1_nodes,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2007
+    config = ExperimentConfig(seed=seed, repetitions=5)
+    print(f"reproducing with seed={seed}, repetitions={config.repetitions} "
+          "(the paper averages 5 runs)")
+
+    banner("Table 1 — nodes added to the PlanetLab slice")
+    print(table1_nodes.run().table())
+
+    banner("Figure 2 — time in receiving the petition")
+    r2 = fig2_petition.run(config)
+    print(r2.table())
+    print(f"\nslowest peer: {r2.slowest_peer()} (paper: SC7)")
+
+    banner("Figure 3 — transmission time for a file of 50 Mb")
+    r3 = fig3_fulltransfer.run(config)
+    print(r3.table())
+    print(f"\nlatest in completing: {r3.slowest_peer()} (paper: SC7)")
+
+    banner("Figure 4 — transmission time of the last Mb")
+    r4 = fig4_lastmb.run(config)
+    print(r4.table())
+    print(f"\nSC7 vs rest: {r4.straggler_ratio():.2f}x (paper: 2-4x)")
+
+    banner("Figure 5 — 100 Mb: complete file vs 4 vs 16 parts")
+    r5 = fig5_granularity.run(config)
+    print(r5.table())
+    print(f"\n16-part grand mean: {r5.grand_mean_minutes(16):.2f} min "
+          "(paper: ~1.7 min)")
+
+    banner("Figure 6 — transmission cost per peer-selection model")
+    r6 = fig6_selection.run(config)
+    print(r6.table())
+    print(f"\nmodel spread: {r6.spread(4):.2f}x at 4 parts -> "
+          f"{r6.spread(16):.2f}x at 16 parts (paper: converges)")
+
+    banner("Figure 7 — just execution vs transmission & execution")
+    r7 = fig7_execution.run(config)
+    print(r7.table())
+    share = r7.transfer_share("SC7")
+    print(f"\nSC7 transmission share: {share:.0%} (the straggler's total is "
+          "transfer-dominated)")
+
+
+if __name__ == "__main__":
+    main()

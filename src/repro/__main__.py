@@ -1,0 +1,111 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro                      # every table and figure
+    python -m repro fig2 fig5            # a subset
+    python -m repro --seed 41 --reps 5   # different seed / repetitions
+    python -m repro --list               # available artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ExperimentConfig,
+    churn,
+    fig2_petition,
+    fig3_fulltransfer,
+    fig4_lastmb,
+    fig5_granularity,
+    fig6_selection,
+    fig7_execution,
+    scale,
+    table1_nodes,
+)
+
+__all__ = ["main"]
+
+
+def _needs_config(runner):
+    def run(config: ExperimentConfig) -> str:
+        return runner(config).table()
+
+    return run
+
+
+#: artifact name -> (description, callable(config) -> rendered table).
+ARTIFACTS: Dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
+    "table1": (
+        "nodes added to the PlanetLab slice",
+        lambda config: table1_nodes.run().table(),
+    ),
+    "fig2": ("petition reception time per peer", _needs_config(fig2_petition.run)),
+    "fig3": ("50 Mb transmission time per peer", _needs_config(fig3_fulltransfer.run)),
+    "fig4": ("last-Mb completion time per peer", _needs_config(fig4_lastmb.run)),
+    "fig5": ("100 Mb whole vs 4 vs 16 parts", _needs_config(fig5_granularity.run)),
+    "fig6": ("three selection models x two granularities",
+             _needs_config(fig6_selection.run)),
+    "fig7": ("execution vs transmission & execution",
+             _needs_config(fig7_execution.run)),
+    "scale": ("future work: larger peer pools", _needs_config(scale.run)),
+    "churn": ("extension: selection under peer churn", _needs_config(churn.run)),
+}
+
+
+def main(argv=None) -> int:
+    """Run the requested artifacts; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        metavar="ARTIFACT",
+        help="artifact names (default: all); see --list",
+    )
+    parser.add_argument("--seed", type=int, default=2007, help="master seed")
+    parser.add_argument(
+        "--reps", type=int, default=5,
+        help="repetitions to average (paper: 5)",
+    )
+    parser.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="load an ExperimentConfig JSON (overrides --seed/--reps)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available artifacts"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (desc, _) in ARTIFACTS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+
+    chosen = args.artifacts or list(ARTIFACTS)
+    unknown = [a for a in chosen if a not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifacts: {unknown}; try --list", file=sys.stderr)
+        return 2
+
+    if args.config is not None:
+        config = ExperimentConfig.load(args.config)
+    else:
+        config = ExperimentConfig(seed=args.seed, repetitions=args.reps)
+    for name in chosen:
+        desc, runner = ARTIFACTS[name]
+        print()
+        print("=" * 72)
+        print(f"{name} — {desc}")
+        print("=" * 72)
+        print(runner(config))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Result analysis: summary statistics, calibration, sensitivity."""
+
+from repro.analysis.calibration import (
+    CalibrationCheck,
+    calibration_report,
+    fit_overhead,
+    verify_profile_fit,
+)
+from repro.analysis.sensitivity import (
+    DEFAULT_SEED_PANEL,
+    SeedPanelResult,
+    run_seed_panel,
+)
+from repro.analysis.stats import Summary, ratio, summarize, summarize_by_key
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "summarize_by_key",
+    "ratio",
+    "CalibrationCheck",
+    "calibration_report",
+    "fit_overhead",
+    "verify_profile_fit",
+    "SeedPanelResult",
+    "run_seed_panel",
+    "DEFAULT_SEED_PANEL",
+]

@@ -1,0 +1,87 @@
+"""Seed-sensitivity analysis.
+
+Stochastic shape claims ("economic < same-priority < quick-peer at 4
+parts") should hold across master seeds, not just the default.  This
+module runs an experiment predicate over a seed panel and reports the
+pass rate — the tool behind the "verified stable across 10 independent
+master seeds" statements in DESIGN.md/EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence, Tuple
+
+from repro.experiments.scenario import ExperimentConfig
+
+__all__ = ["SeedPanelResult", "run_seed_panel", "DEFAULT_SEED_PANEL"]
+
+#: The panel used for the Figure 6 robustness claims.
+DEFAULT_SEED_PANEL: Tuple[int, ...] = (
+    2007, 41, 99, 7, 123, 555, 31337, 808, 64, 2024,
+)
+
+
+@dataclass(frozen=True)
+class SeedPanelResult:
+    """Pass/fail per seed for one shape predicate."""
+
+    predicate_name: str
+    outcomes: Mapping[int, bool]
+
+    @property
+    def passes(self) -> int:
+        """Number of seeds where the predicate held."""
+        return sum(self.outcomes.values())
+
+    @property
+    def total(self) -> int:
+        """Panel size."""
+        return len(self.outcomes)
+
+    @property
+    def pass_rate(self) -> float:
+        """Fraction of seeds passing."""
+        if not self.outcomes:
+            return 0.0
+        return self.passes / self.total
+
+    @property
+    def failing_seeds(self) -> Tuple[int, ...]:
+        """Seeds where the predicate failed, sorted."""
+        return tuple(sorted(s for s, ok in self.outcomes.items() if not ok))
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        text = f"{self.predicate_name}: {self.passes}/{self.total} seeds pass"
+        if self.failing_seeds:
+            text += f" (failing: {list(self.failing_seeds)})"
+        return text
+
+
+def run_seed_panel(
+    predicate: Callable[[ExperimentConfig], bool],
+    seeds: Sequence[int] = DEFAULT_SEED_PANEL,
+    repetitions: int = 5,
+    name: str = "",
+) -> SeedPanelResult:
+    """Evaluate ``predicate(config)`` across a seed panel.
+
+    The predicate receives a fresh :class:`ExperimentConfig` per seed
+    and returns whether the shape claim held.  Exceptions are *not*
+    swallowed — a crashing experiment is a bug, not a failed seed.
+    """
+    if not seeds:
+        raise ValueError("empty seed panel")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("duplicate seeds in panel")
+    outcomes = {
+        seed: bool(
+            predicate(ExperimentConfig(seed=seed, repetitions=repetitions))
+        )
+        for seed in seeds
+    }
+    return SeedPanelResult(
+        predicate_name=name or getattr(predicate, "__name__", "predicate"),
+        outcomes=outcomes,
+    )

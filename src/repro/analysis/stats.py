@@ -1,0 +1,70 @@
+"""Summary statistics for experiment results.
+
+Small, dependency-light helpers: per-series mean/std/CI and ratio
+utilities the experiment reports and shape-checks use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["Summary", "summarize", "summarize_by_key", "ratio"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/std/count of one measurement series."""
+
+    mean: float
+    std: float
+    n: int
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.n)
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95 % confidence interval of the mean."""
+        half = 1.96 * self.sem
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary of a non-empty series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot summarize an empty series")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    else:
+        var = 0.0
+    return Summary(
+        mean=mean, std=math.sqrt(var), n=n, minimum=min(vals), maximum=max(vals)
+    )
+
+
+def summarize_by_key(
+    rows: Iterable[Mapping[str, float]]
+) -> Dict[str, Summary]:
+    """Column-wise summaries over dict rows (all rows must share keys)."""
+    columns: Dict[str, List[float]] = {}
+    for row in rows:
+        for key, value in row.items():
+            columns.setdefault(key, []).append(float(value))
+    return {key: summarize(vals) for key, vals in columns.items()}
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio (inf when the denominator is 0)."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator

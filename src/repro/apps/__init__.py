@@ -1,0 +1,5 @@
+"""Applications built on the overlay (the paper's validation layer)."""
+
+from repro.apps.batch import BatchDispatcher, BatchReport, JobResult
+
+__all__ = ["BatchDispatcher", "BatchReport", "JobResult"]

@@ -1,0 +1,199 @@
+"""Churn experiment (extension): selection under peer churn.
+
+P2P populations churn; PlanetLab slivers reboot.  This experiment
+cycles the SimpleClients through up/down phases (exponential dwell
+times) while a client dispatches a stream of transfers placed by one of
+three policies:
+
+* **blind** — round-robin over every *registered* peer, alive or not
+  (no information, the paper's "blind way");
+* **economic** — the scheduling model over the broker's *live* view
+  (keepalive-recency liveness filter + ready-time ranking);
+* **same_priority** — the data evaluator over the same live view.
+
+Reported per policy: completion rate, aborted transfers, and the mean
+transmission cost of the completed ones.  Expected shape: informed
+policies complete (nearly) everything because the liveness window
+screens out silently crashed peers; blind placement burns its retry
+budget on dead peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.analysis.stats import Summary
+from repro.errors import TransferAborted
+from repro.experiments.report import render_table
+from repro.experiments.runner import average_rows, run_repetitions
+from repro.experiments.scenario import ExperimentConfig, Session
+from repro.overlay.peer import PeerConfig
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.blind import RoundRobinSelector
+from repro.selection.evaluator import DataEvaluatorSelector
+from repro.selection.scheduling import SchedulingBasedSelector
+from repro.units import mbit, to_mbit
+
+__all__ = ["ChurnResult", "run", "POLICIES"]
+
+POLICIES: Tuple[str, ...] = ("blind", "economic", "same_priority")
+
+#: Churn process: mean up/down dwell times (seconds).
+MEAN_UP_S = 400.0
+MEAN_DOWN_S = 120.0
+CHURN_HORIZON_S = 3000.0
+#: Liveness window for the informed policies (3 keepalive periods).
+LIVENESS_S = 90.0
+#: Workload: a stream of small transfers.
+N_TRANSFERS = 12
+TRANSFER_BITS = mbit(10)
+TRANSFER_PARTS = 2
+
+#: Short protocol timeouts so dead-peer attempts fail quickly.
+_CHURN_PEER_CONFIG = PeerConfig(
+    petition_timeout_s=40.0,
+    petition_retries=2,
+    confirm_timeout_s=20.0,
+    confirm_retries=2,
+)
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Per-policy churn outcomes."""
+
+    summaries: Mapping[str, Summary]  # keys "<policy>/completed" etc.
+
+    def completed(self, policy: str) -> float:
+        """Mean number of completed transfers (of N_TRANSFERS)."""
+        return self.summaries[f"{policy}/completed"].mean
+
+    def aborted(self, policy: str) -> float:
+        """Mean number of aborted transfers."""
+        return self.summaries[f"{policy}/aborted"].mean
+
+    def cost(self, policy: str) -> float:
+        """Mean s/Mb over completed transfers."""
+        return self.summaries[f"{policy}/cost"].mean
+
+    def completion_rate(self, policy: str) -> float:
+        """Completed / offered."""
+        return self.completed(policy) / N_TRANSFERS
+
+    def table(self) -> str:
+        """Per-policy outcome table."""
+        rows = [
+            (
+                policy,
+                self.completion_rate(policy),
+                self.aborted(policy),
+                self.cost(policy),
+            )
+            for policy in POLICIES
+        ]
+        return render_table(
+            ("policy", "completion rate", "aborted", "cost (s/Mb)"),
+            rows,
+            title=f"Churn — {N_TRANSFERS} transfers under peer churn",
+        )
+
+
+def _start_churn(session: Session) -> None:
+    """Schedule alternating up/down phases for every SimpleClient."""
+    base = session.sim.now
+    for label in session.sc_labels():
+        host = session.client(label).host
+        rng = session.streams.get(f"churn/{label}")
+        t = base + float(rng.exponential(MEAN_UP_S))
+        while t < base + CHURN_HORIZON_S:
+            down = float(rng.exponential(MEAN_DOWN_S))
+            end = t + max(down, 1.0)
+            host.schedule_outage(t, end)
+            t = end + float(rng.exponential(MEAN_UP_S))
+
+
+def _make_policy(policy: str, session: Session):
+    if policy == "blind":
+        return RoundRobinSelector()
+    if policy == "economic":
+        return SchedulingBasedSelector(reserve=False)
+    if policy == "same_priority":
+        return DataEvaluatorSelector(
+            "same_priority",
+            tiebreak_rng=session.streams.get("churn/evaluator-ties"),
+        )
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def _candidates(policy: str, session: Session):
+    if policy == "blind":
+        # Blind: every registered peer, no liveness information.
+        return session.broker.candidates(online_only=False)
+    return session.broker.candidates(liveness_timeout_s=LIVENESS_S)
+
+
+def _scenario(session: Session):
+    sim = session.sim
+    broker = session.broker
+    # Warmup history before churn starts.
+    for label in session.sc_labels():
+        yield sim.process(
+            broker.transfers.send_file(
+                session.client(label).advertisement(), f"w-{label}", mbit(5)
+            )
+        )
+    _start_churn(session)
+    yield 200.0  # let the first outages begin and keepalives lapse
+
+    metrics: Dict[str, float] = {}
+    for policy in POLICIES:
+        selector = _make_policy(policy, session)
+        completed = 0
+        aborted = 0
+        cost_total = 0.0
+        for i in range(N_TRANSFERS):
+            candidates = _candidates(policy, session)
+            if not candidates:
+                aborted += 1
+                yield 30.0
+                continue
+            ctx = SelectionContext(
+                broker=broker,
+                now=sim.now,
+                workload=Workload(
+                    transfer_bits=TRANSFER_BITS, n_parts=TRANSFER_PARTS
+                ),
+                candidates=candidates,
+            )
+            record = selector.select(ctx)
+            try:
+                outcome = yield sim.process(
+                    broker.transfers.send_file(
+                        record.adv,
+                        f"{policy}-{i}",
+                        TRANSFER_BITS,
+                        n_parts=TRANSFER_PARTS,
+                    )
+                )
+                completed += 1
+                cost_total += outcome.transmission_time
+            except TransferAborted:
+                aborted += 1
+        metrics[f"{policy}/completed"] = float(completed)
+        metrics[f"{policy}/aborted"] = float(aborted)
+        metrics[f"{policy}/cost"] = (
+            cost_total / completed / to_mbit(TRANSFER_BITS)
+            if completed
+            else float("nan")
+        )
+    return metrics
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ChurnResult:
+    """Run the churn experiment."""
+    from dataclasses import replace
+
+    config = replace(config, peer_config=_CHURN_PEER_CONFIG)
+    rows: List[Mapping[str, float]] = run_repetitions(config, _scenario)
+    return ChurnResult(summaries=average_rows(rows))

@@ -1,0 +1,47 @@
+"""Experiment runner: repetition loop + averaging.
+
+The paper repeats each measurement five times and reports the average.
+:func:`run_repetitions` builds a fresh :class:`~repro.experiments.scenario.Session`
+per repetition (fresh seed substream, fresh overlay) and hands the
+per-repetition result rows to :func:`average_rows` for the figures'
+mean series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from repro.analysis.stats import Summary, summarize
+from repro.experiments.scenario import ExperimentConfig, Session
+
+__all__ = ["run_repetitions", "average_rows"]
+
+
+def run_repetitions(
+    config: ExperimentConfig,
+    scenario: Callable[[Session], object],
+) -> List[object]:
+    """Run ``scenario`` once per repetition on fresh sessions.
+
+    ``scenario(session)`` must return a generator process (the session
+    connects all peers first, then runs it).  Returns the list of
+    per-repetition results.
+    """
+    results: List[object] = []
+    for rep in range(config.repetitions):
+        session = Session(config.for_repetition(rep))
+        results.append(session.run(scenario))
+    return results
+
+
+def average_rows(
+    rows: List[Mapping[str, float]]
+) -> Dict[str, Summary]:
+    """Per-key summaries across repetition rows."""
+    if not rows:
+        raise ValueError("no rows to average")
+    keys = set(rows[0])
+    for row in rows[1:]:
+        if set(row) != keys:
+            raise ValueError("repetition rows disagree on keys")
+    return {key: summarize([row[key] for row in rows]) for key in sorted(keys)}

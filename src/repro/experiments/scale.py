@@ -1,0 +1,163 @@
+"""Future-work experiment: peer selection at larger scale.
+
+The paper closes with: "In our future work we would like to extend the
+empirical study of this work to study the performance of the proposed
+peer selection models by using a larger number of peer nodes."  This
+module implements that extension on the full Table 1 slice: the
+candidate pool grows from the paper's 8 SimpleClients to all 24
+non-broker slice nodes, and each selection model (plus a blind
+baseline) places a batch of file transfers.
+
+Reported metric: mean transmission cost (s/Mb) of the placed transfers
+per model and pool size.  Expected shape: informed selection's
+advantage *grows* with the pool — a bigger pool has more mediocre
+nodes for blind selection to stumble into, while the economic model
+keeps finding the good ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Tuple
+
+from repro.analysis.stats import Summary
+from repro.errors import TransferAborted
+from repro.experiments.report import render_table
+from repro.experiments.runner import average_rows, run_repetitions
+from repro.experiments.scenario import ExperimentConfig, Session
+from repro.overlay.client import SimpleClient
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.blind import RoundRobinSelector
+from repro.selection.evaluator import DataEvaluatorSelector
+from repro.selection.scheduling import SchedulingBasedSelector
+from repro.simnet.planetlab import BROKER_HOSTNAME, SIMPLECLIENTS, TABLE1_HOSTNAMES
+from repro.units import mbit, to_mbit
+
+__all__ = ["ScaleResult", "run", "POOL_SIZES", "MODELS"]
+
+#: Candidate pool sizes: the paper's 8 SCs, and the full slice.
+POOL_SIZES: Tuple[int, ...] = (8, 16, 24)
+MODELS: Tuple[str, ...] = ("blind", "economic", "same_priority")
+
+PROBE_BITS = mbit(10)
+JOB_BITS = mbit(30)
+JOB_PARTS = 4
+N_JOBS = 6
+
+
+@dataclass(frozen=True)
+class ScaleResult:
+    """Mean cost (s/Mb) per (model, pool size)."""
+
+    summaries: Mapping[str, Summary]  # key "economic/16"
+
+    def cost(self, model: str, pool: int) -> float:
+        """Mean s/Mb for one cell."""
+        return self.summaries[f"{model}/{pool}"].mean
+
+    def advantage(self, pool: int) -> float:
+        """Blind cost over economic cost at one pool size."""
+        return self.cost("blind", pool) / self.cost("economic", pool)
+
+    def table(self) -> str:
+        """Cost matrix."""
+        rows = []
+        for model in MODELS:
+            rows.append((model,) + tuple(self.cost(model, p) for p in POOL_SIZES))
+        rows.append(
+            ("blind/economic",)
+            + tuple(self.advantage(p) for p in POOL_SIZES)
+        )
+        headers = ("model",) + tuple(f"{p} peers" for p in POOL_SIZES)
+        return render_table(
+            headers, rows,
+            title="Scale experiment — transfer cost (s/Mb) vs pool size",
+        )
+
+
+def _pool_hostnames(pool: int) -> List[str]:
+    """The first ``pool`` candidate hostnames: SCs first, then the
+    remaining Table 1 nodes in catalog order."""
+    sc_hosts = list(SIMPLECLIENTS.values())
+    others = [
+        h for h in TABLE1_HOSTNAMES
+        if h not in sc_hosts and h != BROKER_HOSTNAME
+    ]
+    return (sc_hosts + others)[:pool]
+
+
+def _make_selector(model: str, session: Session):
+    if model == "blind":
+        return RoundRobinSelector()
+    if model == "economic":
+        return SchedulingBasedSelector(reserve=True)
+    if model == "same_priority":
+        return DataEvaluatorSelector(
+            "same_priority",
+            tiebreak_rng=session.streams.get("scale/evaluator-ties"),
+        )
+    raise ValueError(f"unknown model {model!r}")
+
+
+def _scenario(session: Session):
+    sim = session.sim
+    broker = session.broker
+    # Bring up the extra slice nodes beyond the 8 session SCs.
+    extra = {}
+    for hostname in _pool_hostnames(max(POOL_SIZES)):
+        if hostname not in {c.host.hostname for c in session.clients.values()}:
+            peer = SimpleClient(
+                session.network, hostname, session.ids, name=hostname
+            )
+            extra[hostname] = peer
+            yield sim.process(peer.connect(broker.advertisement()))
+
+    all_peers = {c.host.hostname: c for c in session.clients.values()}
+    all_peers.update(extra)
+
+    # Warmup: one probe per peer so informed models have history.
+    for hostname, peer in all_peers.items():
+        try:
+            yield sim.process(
+                broker.transfers.send_file(
+                    peer.advertisement(), f"probe-{hostname}", PROBE_BITS,
+                    n_parts=2,
+                )
+            )
+        except TransferAborted:
+            continue
+
+    costs: Dict[str, float] = {}
+    for pool in POOL_SIZES:
+        pool_hosts = set(_pool_hostnames(pool))
+        for model in MODELS:
+            selector = _make_selector(model, session)
+            total = 0.0
+            for j in range(N_JOBS):
+                candidates = [
+                    rec for rec in broker.candidates()
+                    if rec.adv.hostname in pool_hosts
+                ]
+                ctx = SelectionContext(
+                    broker=broker,
+                    now=sim.now,
+                    workload=Workload(transfer_bits=JOB_BITS, n_parts=JOB_PARTS),
+                    candidates=candidates,
+                )
+                record = selector.select(ctx)
+                outcome = yield sim.process(
+                    broker.transfers.send_file(
+                        record.adv, f"job-{model}-{pool}-{j}", JOB_BITS,
+                        n_parts=JOB_PARTS,
+                    )
+                )
+                total += outcome.transmission_time
+            costs[f"{model}/{pool}"] = total / N_JOBS / to_mbit(JOB_BITS)
+    return costs
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ScaleResult:
+    """Run the scale experiment (needs the full slice topology)."""
+    config = replace(config, include_full_slice=True)
+    rows: List[Mapping[str, float]] = run_repetitions(config, _scenario)
+    return ScaleResult(summaries=average_rows(rows))

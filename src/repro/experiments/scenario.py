@@ -1,0 +1,178 @@
+"""Experiment scenario wiring.
+
+A :class:`Session` assembles one complete simulated deployment — the
+PlanetLab testbed, a simulator, a broker on the nozomi cluster head and
+the eight SimpleClients — exactly as the paper's evaluation (§4.1).
+The :class:`ExperimentConfig` carries the knobs shared by all figures
+(seed, repetition count — five, like the paper — and tracing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.overlay.broker import Broker
+from repro.overlay.client import SimpleClient
+from repro.overlay.ids import IdFactory
+from repro.overlay.peer import PeerConfig
+from repro.simnet.kernel import Simulator
+from repro.simnet.planetlab import PlanetLabTestbed, build_testbed
+from repro.simnet.rng import RandomStreams
+from repro.simnet.trace import Tracer
+from repro.simnet.transport import Network
+
+__all__ = ["ExperimentConfig", "Session"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared configuration for all experiments."""
+
+    #: Master seed; repetition ``i`` forks substreams from it.
+    seed: int = 2007
+    #: Paper: "the experiment was repeated 5 times".
+    repetitions: int = 5
+    #: Include the full 25-node Table 1 slice (False = broker + SCs,
+    #: matching the subset the paper's computational results use).
+    include_full_slice: bool = False
+    #: Enable structured tracing (costs memory).
+    trace: bool = False
+    #: Flow-scheduler reconcile tick (seconds).
+    flow_tick: float = 10.0
+    #: Override peer protocol parameters (None = defaults).
+    peer_config: Optional[PeerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ConfigError("repetitions must be >= 1")
+        if self.flow_tick <= 0:
+            raise ConfigError("flow_tick must be > 0")
+
+    def for_repetition(self, rep: int) -> "ExperimentConfig":
+        """Config with the repetition-specific derived seed."""
+        if not 0 <= rep < self.repetitions:
+            raise ConfigError(f"repetition {rep} out of range")
+        return replace(self, seed=self.seed * 10_007 + rep, repetitions=1)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        out = {
+            "seed": self.seed,
+            "repetitions": self.repetitions,
+            "include_full_slice": self.include_full_slice,
+            "trace": self.trace,
+            "flow_tick": self.flow_tick,
+        }
+        if self.peer_config is not None:
+            out["peer_config"] = dataclasses.asdict(self.peer_config)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        data = dict(data)
+        peer_config = data.pop("peer_config", None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+        if peer_config is not None:
+            data["peer_config"] = PeerConfig(**peer_config)
+        return cls(**data)
+
+    def save(self, path) -> None:
+        """Write the config as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "ExperimentConfig":
+        """Read a config written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class Session:
+    """One wired simulation: testbed + broker + SimpleClients."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.testbed: PlanetLabTestbed = build_testbed(
+            include_full_slice=config.include_full_slice
+        )
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed=config.seed)
+        self.tracer = Tracer(enabled=config.trace)
+        self.network = Network(
+            self.sim,
+            self.testbed.topology,
+            streams=self.streams,
+            tracer=self.tracer,
+            flow_tick=config.flow_tick,
+        )
+        ids = IdFactory(namespace=f"run-{config.seed}")
+        self.ids = ids
+        self.broker = Broker(
+            self.network,
+            self.testbed.broker_hostname,
+            ids,
+            name="broker",
+            config=config.peer_config,
+        )
+        self.clients: Dict[str, SimpleClient] = {
+            label: SimpleClient(
+                self.network,
+                self.testbed.sc_hostname(label),
+                ids,
+                name=label,
+                config=config.peer_config,
+            )
+            for label in self.testbed.sc_labels()
+        }
+        self._connected = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect_all(self):
+        """Generator process: join every SimpleClient to the broker."""
+        badv = self.broker.advertisement()
+        for client in self.clients.values():
+            yield self.sim.process(client.connect(badv))
+        self._connected = True
+
+    def run(self, process_fn: Callable[["Session"], object]):
+        """Drive a scenario: connect all peers, then run the process
+        built by ``process_fn(session)`` to completion.  Returns its
+        value."""
+
+        def main(session: "Session"):
+            yield session.sim.process(session.connect_all())
+            result = yield session.sim.process(process_fn(session))
+            return result
+
+        p = self.sim.process(main(self))
+        self.sim.run(until=p)
+        return p.value
+
+    # -- conveniences ----------------------------------------------------------
+
+    def sc_labels(self) -> tuple[str, ...]:
+        """SC labels in numeric order."""
+        return self.testbed.sc_labels()
+
+    def client(self, label: str) -> SimpleClient:
+        """A SimpleClient by its SC label."""
+        return self.clients[label]
+
+    def candidates(self):
+        """The broker's current simpleclient candidate records."""
+        return self.broker.candidates(kind="simpleclient")

@@ -1,0 +1,89 @@
+"""JXTA-Overlay platform (Python reimplementation).
+
+The overlay's three modules per the paper (§3): the **Broker**
+(:class:`.broker.Broker` — network governor, registry, statistics,
+discovery index, groups), the **Primitives**
+(:class:`.primitives.Primitives` — discovery, selection, allocation,
+file transmission, instant communication, peergroups, task management)
+and the **Client** module (:class:`.client.SimpleClient` /
+:class:`.client.Client`).
+"""
+
+from repro.overlay.advertisements import (
+    DEFAULT_LIFETIME_S,
+    Advertisement,
+    GroupAdvertisement,
+    PeerAdvertisement,
+    PipeAdvertisement,
+    ResourceAdvertisement,
+)
+from repro.overlay.broker import Broker, PeerRecord
+from repro.overlay.client import Client, SimpleClient
+from repro.overlay.discovery import DiscoveryService
+from repro.overlay.filesharing import (
+    FileNotShared,
+    FileSharingService,
+    SharedFile,
+)
+from repro.overlay.filetransfer import (
+    FileTransferOutcome,
+    FileTransferService,
+    PartRecord,
+    TransferHandle,
+    split_even,
+)
+from repro.overlay.group import GroupRegistry, PeerGroup
+from repro.overlay.ids import (
+    GroupId,
+    IdFactory,
+    PeerId,
+    PipeId,
+    TaskId,
+    TransferId,
+)
+from repro.overlay.peer import PeerConfig, PeerNode, RequestTimeout
+from repro.overlay.pipes import PropagatePipe, UnicastPipe
+from repro.overlay.primitives import Primitives
+from repro.overlay.statistics import Counters, PeerStats, PerformanceHistory
+from repro.overlay.taskexec import TaskExecutionService, TaskOutcome
+
+__all__ = [
+    "IdFactory",
+    "PeerId",
+    "PipeId",
+    "GroupId",
+    "TaskId",
+    "TransferId",
+    "Advertisement",
+    "PeerAdvertisement",
+    "PipeAdvertisement",
+    "GroupAdvertisement",
+    "ResourceAdvertisement",
+    "DEFAULT_LIFETIME_S",
+    "PeerNode",
+    "PeerConfig",
+    "RequestTimeout",
+    "SimpleClient",
+    "Client",
+    "Broker",
+    "PeerRecord",
+    "PeerGroup",
+    "GroupRegistry",
+    "PeerStats",
+    "Counters",
+    "PerformanceHistory",
+    "FileTransferService",
+    "FileTransferOutcome",
+    "PartRecord",
+    "TransferHandle",
+    "split_even",
+    "TaskExecutionService",
+    "TaskOutcome",
+    "DiscoveryService",
+    "FileSharingService",
+    "SharedFile",
+    "FileNotShared",
+    "UnicastPipe",
+    "PropagatePipe",
+    "Primitives",
+]

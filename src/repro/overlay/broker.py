@@ -1,0 +1,526 @@
+"""The Broker — governor of the overlay.
+
+Per the paper (§3), brokers "act as governors of the P2P network":
+they admit peers, keep the per-peer historical and statistical data
+the selection models consume, index advertisements for discovery,
+manage peergroups, and plan allocations (the scheduling-based model's
+ready-time bookkeeping lives here).
+
+The broker extends :class:`~repro.overlay.peer.PeerNode`, so it is a
+full peer (it can itself transfer files and submit tasks — which is how
+the paper's experiments drive the SimpleClients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import GroupMembershipError, UnknownPeerError
+from repro.overlay.advertisements import (
+    Advertisement,
+    GroupAdvertisement,
+    PeerAdvertisement,
+)
+from repro.overlay.group import GroupRegistry, PeerGroup
+from repro.overlay.ids import GroupId, PeerId
+from repro.overlay.messages import (
+    DigestEntry,
+    DiscoveryQuery,
+    DiscoveryResponse,
+    GroupJoinAck,
+    GroupJoinRequest,
+    JoinAck,
+    JoinRequest,
+    KeepAlive,
+    LeaveNotice,
+    PublishAdvertisement,
+    RegistryDigest,
+    StatReport,
+)
+from repro.overlay.peer import PeerNode
+from repro.overlay.statistics import PeerStats, PerformanceHistory
+from repro.simnet.transport import Datagram
+
+__all__ = ["PeerRecord", "Broker"]
+
+
+@dataclass
+class PeerRecord:
+    """Everything the broker knows about one registered peer."""
+
+    adv: PeerAdvertisement
+    joined_at: float
+    last_seen: float
+    online: bool = True
+    #: Latest §2.2 statistics snapshot pushed by the peer.
+    snapshot: Dict[str, float] = field(default_factory=dict)
+    #: Broker-observed performance (transfer rates, petition latency).
+    perf: PerformanceHistory = field(default_factory=PerformanceHistory)
+    #: Broker-side interaction accounting with this peer (message and
+    #: file outcomes of the broker's own conversations) — "historical
+    #: data kept for the peergroup".
+    interaction: Optional["PeerStats"] = None
+    #: Economic-model bookkeeping: time until which the broker has
+    #: already committed this peer to planned work.
+    busy_until: float = 0.0
+    #: Queue occupancies from the latest keepalive.
+    pending_tasks: int = 0
+    pending_transfers: int = 0
+    #: None for a locally registered peer; the owning broker's id for
+    #: records learned through federation digests.
+    home_broker: Optional[PeerId] = None
+
+    @property
+    def is_local(self) -> bool:
+        """True when this broker admitted the peer itself."""
+        return self.home_broker is None
+
+    @property
+    def peer_id(self) -> PeerId:
+        """The peer's id."""
+        return self.adv.peer_id
+
+    def ready_at(self, now: float) -> float:
+        """Earliest time this peer can start new planned work."""
+        return max(now, self.busy_until)
+
+    def is_idle(self, now: float) -> bool:
+        """Idle = no live queue content and no planned commitment."""
+        return (
+            self.pending_tasks == 0
+            and self.pending_transfers == 0
+            and self.busy_until <= now
+        )
+
+    def selection_snapshot(self, now: float, last_k_hours: float = 1.0) -> Dict[str, float]:
+        """The statistics view the data-evaluator model consumes.
+
+        The peer-pushed snapshot (queue occupancies, task shares)
+        overlaid with the broker's own interaction history for the
+        message/file criteria — the broker's conversations with the
+        peer are the most informative record of its reachability and
+        transfer reliability.
+        """
+        merged = dict(self.snapshot)
+        if self.interaction is not None:
+            inter = self.interaction.snapshot(now, last_k_hours=last_k_hours)
+            for key in (
+                "pct_messages_ok_session",
+                "pct_messages_ok_total",
+                "pct_messages_ok_last_k",
+                "pct_files_sent_session",
+                "pct_files_sent_total",
+                "pct_transfers_cancelled_session",
+                "pct_transfers_cancelled_total",
+            ):
+                merged[key] = inter[key]
+        merged.setdefault("pending_transfers", float(self.pending_transfers))
+        merged.setdefault("pending_tasks", float(self.pending_tasks))
+        return merged
+
+
+class Broker(PeerNode):
+    """Broker peer: registry + discovery index + group governor."""
+
+    kind = "broker"
+
+    def __init__(self, network, hostname, ids, name=None, config=None) -> None:
+        super().__init__(network, hostname, ids, name=name, config=config)
+        self.registry: Dict[PeerId, PeerRecord] = {}
+        self.groups = GroupRegistry()
+        #: Published advertisements by kind for discovery.
+        self._adv_index: Dict[str, List[Advertisement]] = {
+            "peer": [],
+            "pipe": [],
+            "group": [],
+            "resource": [],
+        }
+        self.online = True
+        self.stats.start_session()
+        # The broker is its own broker: its discovery/publish calls
+        # loop back through the (simulated) network to itself.
+        self.broker_adv = self.advertisement()
+        h = self.host
+        h.on_message(JoinRequest, self._on_join_request)
+        h.on_message(LeaveNotice, self._on_leave)
+        h.on_message(KeepAlive, self._on_keepalive)
+        h.on_message(StatReport, self._on_stat_report)
+        h.on_message(DiscoveryQuery, self._on_discovery_query)
+        h.on_message(PublishAdvertisement, self._on_publish)
+        h.on_message(GroupJoinRequest, self._on_group_join)
+        h.on_message(RegistryDigest, self._on_registry_digest)
+        #: Federated brokers: broker peer id -> advertisement.
+        self.federated: Dict[PeerId, PeerAdvertisement] = {}
+        self._federation_running = False
+
+    # -- maintenance ---------------------------------------------------------
+
+    def prune_expired_advertisements(self) -> int:
+        """Drop expired entries from the discovery index.
+
+        Returns the number removed.  Queries already filter expired
+        advertisements on the fly; pruning reclaims index memory in
+        long-running deployments.
+        """
+        now = self.sim.now
+        removed = 0
+        for kind, advs in self._adv_index.items():
+            fresh = [a for a in advs if not a.is_expired(now)]
+            removed += len(advs) - len(fresh)
+            self._adv_index[kind] = fresh
+        return removed
+
+    def start_maintenance(self, interval_s: float = 600.0) -> None:
+        """Run periodic index pruning for the broker's lifetime."""
+        if interval_s <= 0:
+            raise ValueError("interval must be > 0")
+
+        def loop():
+            while self.online:
+                yield interval_s
+                self.prune_expired_advertisements()
+
+        self.sim.process(loop(), name=f"maintenance@{self.name}")
+
+    # -- registry ---------------------------------------------------------
+
+    def record(self, peer_id: PeerId) -> PeerRecord:
+        """Look up a peer's record (raises if unregistered)."""
+        try:
+            return self.registry[peer_id]
+        except KeyError:
+            raise UnknownPeerError(f"broker has no record of {peer_id}") from None
+
+    def candidates(
+        self,
+        kind: str = "simpleclient",
+        online_only: bool = True,
+        include_remote: bool = True,
+        liveness_timeout_s: Optional[float] = None,
+    ) -> List[PeerRecord]:
+        """Peers eligible for selection, in deterministic join order.
+
+        ``include_remote=False`` restricts the view to peers this
+        broker admitted itself (excluding federation-learned records).
+        ``liveness_timeout_s`` additionally drops peers whose last sign
+        of life (keepalive / report / digest) is older than the window
+        — the broker's defence against silent churn: a crashed peer
+        never says goodbye, it just stops writing home.
+        """
+        now = self.sim.now
+        out = [
+            rec
+            for rec in self.registry.values()
+            if rec.adv.kind == kind
+            and (rec.online or not online_only)
+            and (include_remote or rec.is_local)
+            and (
+                liveness_timeout_s is None
+                or now - rec.last_seen <= liveness_timeout_s
+            )
+        ]
+        out.sort(key=lambda r: (r.joined_at, r.adv.name))
+        return out
+
+    def reserve(self, peer_id: PeerId, until: float) -> None:
+        """Commit a peer to planned work until ``until`` (economic model)."""
+        rec = self.record(peer_id)
+        rec.busy_until = max(rec.busy_until, until)
+
+    # -- message handlers --------------------------------------------------
+
+    def _on_join_request(self, dgram: Datagram) -> None:
+        req: JoinRequest = dgram.payload
+        now = self.sim.now
+        rec = self.registry.get(req.peer_id)
+        if rec is None:
+            adv = PeerAdvertisement(
+                published_at=now,
+                peer_id=req.peer_id,
+                name=req.name,
+                hostname=req.hostname,
+                cpu_speed=req.cpu_speed,
+                kind=req.kind,
+            )
+            rec = PeerRecord(adv=adv, joined_at=now, last_seen=now)
+            # Share the broker's own observation history for this peer
+            # so transfers the broker performs feed selection directly.
+            rec.perf = self.observed_perf(req.peer_id)
+            rec.interaction = self.interaction_stats(req.hostname)
+            self.registry[req.peer_id] = rec
+            self._adv_index["peer"].append(adv)
+        else:
+            rec.online = True
+            rec.last_seen = now
+        self.directory[req.peer_id] = req.hostname
+        src = self.network.host(dgram.src)
+        self.host.send(
+            src, JoinAck(broker_id=self.peer_id, accepted=True), light=True
+        )
+
+    def _on_leave(self, dgram: Datagram) -> None:
+        notice: LeaveNotice = dgram.payload
+        rec = self.registry.get(notice.peer_id)
+        if rec is not None:
+            rec.online = False
+            self.groups.drop_member_everywhere(notice.peer_id)
+
+    def _on_keepalive(self, dgram: Datagram) -> None:
+        beacon: KeepAlive = dgram.payload
+        rec = self.registry.get(beacon.peer_id)
+        if rec is None:
+            return
+        rec.last_seen = self.sim.now
+        rec.pending_tasks = beacon.pending_tasks
+        rec.pending_transfers = beacon.pending_transfers
+        rec.snapshot["outbox_len_now"] = float(beacon.outbox_len)
+        rec.snapshot["inbox_len_now"] = float(beacon.inbox_len)
+        rec.snapshot["pending_tasks"] = float(beacon.pending_tasks)
+        rec.snapshot["pending_transfers"] = float(beacon.pending_transfers)
+
+    def _on_stat_report(self, dgram: Datagram) -> None:
+        report: StatReport = dgram.payload
+        rec = self.registry.get(report.peer_id)
+        if rec is None:
+            return
+        rec.last_seen = self.sim.now
+        rec.snapshot.update(report.counters)
+
+    def _on_publish(self, dgram: Datagram) -> None:
+        pub: PublishAdvertisement = dgram.payload
+        adv = pub.adv
+        kind = _adv_kind(adv)
+        if kind is not None:
+            self._adv_index[kind].append(adv)
+            if kind == "peer":
+                self.directory[adv.peer_id] = adv.hostname
+
+    def _on_discovery_query(self, dgram: Datagram) -> None:
+        query: DiscoveryQuery = dgram.payload
+        now = self.sim.now
+        matches = tuple(
+            adv
+            for adv in self._adv_index.get(query.adv_kind, ())
+            if not adv.is_expired(now) and _matches(adv, query.attrs)
+        )
+        src = self.network.host(dgram.src)
+        self.host.send(
+            src,
+            DiscoveryResponse(query_id=query.query_id, advertisements=matches),
+            light=True,
+        )
+
+    def _on_group_join(self, dgram: Datagram) -> None:
+        req: GroupJoinRequest = dgram.payload
+        src = self.network.host(dgram.src)
+        try:
+            group = self.groups.get(req.group_id)
+            if req.peer_id not in group:
+                group.add(req.peer_id)
+            ack = GroupJoinAck(
+                group_id=req.group_id, accepted=True, members=group.member_ids()
+            )
+        except GroupMembershipError:
+            ack = GroupJoinAck(group_id=req.group_id, accepted=False)
+        self.host.send(src, ack, light=True)
+
+    # -- federation ---------------------------------------------------------------
+
+    def peer_with(self, other: PeerAdvertisement) -> None:
+        """Federate with another broker.
+
+        The peering is one-directional per call (call on both brokers
+        for a symmetric mesh); once at least one peering exists this
+        broker periodically pushes digests of its *local* registry to
+        every federated broker.
+        """
+        if other.peer_id == self.peer_id:
+            raise ValueError("a broker cannot federate with itself")
+        if other.kind != "broker":
+            raise ValueError(f"{other.name!r} is not a broker")
+        self.learn(other)
+        self.federated[other.peer_id] = other
+        if not self._federation_running:
+            self._federation_running = True
+            self.sim.process(
+                self._federation_loop(), name=f"federation@{self.name}"
+            )
+        # Push an immediate digest so the peer learns about us without
+        # waiting a full period.
+        self._send_digests()
+
+    def _local_digest(self) -> RegistryDigest:
+        entries = tuple(
+            DigestEntry(
+                peer_id=rec.peer_id,
+                name=rec.adv.name,
+                hostname=rec.adv.hostname,
+                cpu_speed=rec.adv.cpu_speed,
+                kind=rec.adv.kind,
+                online=rec.online,
+                pending_tasks=rec.pending_tasks,
+                pending_transfers=rec.pending_transfers,
+                snapshot=dict(rec.snapshot),
+            )
+            for rec in self.registry.values()
+            if rec.is_local
+        )
+        return RegistryDigest(broker_id=self.peer_id, entries=entries)
+
+    def _send_digests(self) -> None:
+        if not self.host.is_up:
+            return
+        digest = self._local_digest()
+        for adv in self.federated.values():
+            dst = self.network.host(adv.hostname)
+            self.host.send(dst, digest, light=True)
+
+    def _federation_loop(self):
+        while self.online and self.federated:
+            yield self.config.stat_report_interval_s
+            self._send_digests()
+
+    def _on_registry_digest(self, dgram: Datagram) -> None:
+        digest: RegistryDigest = dgram.payload
+        now = self.sim.now
+        for entry in digest.entries:
+            rec = self.registry.get(entry.peer_id)
+            if rec is not None and rec.is_local:
+                # Local registration is authoritative; ignore gossip.
+                continue
+            if rec is None:
+                adv = PeerAdvertisement(
+                    published_at=now,
+                    peer_id=entry.peer_id,
+                    name=entry.name,
+                    hostname=entry.hostname,
+                    cpu_speed=entry.cpu_speed,
+                    kind=entry.kind,
+                )
+                rec = PeerRecord(
+                    adv=adv,
+                    joined_at=now,
+                    last_seen=now,
+                    home_broker=digest.broker_id,
+                )
+                rec.perf = self.observed_perf(entry.peer_id)
+                rec.interaction = self.interaction_stats(entry.hostname)
+                self.registry[entry.peer_id] = rec
+                self.directory[entry.peer_id] = entry.hostname
+            rec.online = entry.online
+            rec.last_seen = now
+            rec.pending_tasks = entry.pending_tasks
+            rec.pending_transfers = entry.pending_transfers
+            rec.snapshot.update(entry.snapshot)
+
+    # -- group governance (local API) ------------------------------------------
+
+    def group_pipe(self, group: PeerGroup):
+        """A propagate pipe over a group's current members.
+
+        Members must be registered (their hostnames come from the
+        registry); the pipe is a snapshot — peers joining later need a
+        fresh pipe.
+        """
+        from repro.overlay.pipes import PropagatePipe
+
+        pipe = PropagatePipe(self, f"group:{group.name}")
+        pipe.attach(
+            self.record(peer_id).adv for peer_id in group.member_ids()
+        )
+        return pipe
+
+    def create_group(self, name: str, description: str = "") -> PeerGroup:
+        """Create and advertise a new peergroup."""
+        adv = GroupAdvertisement(
+            published_at=self.sim.now,
+            group_id=self.ids.group_id(name),
+            name=name,
+            description=description,
+        )
+        group = self.groups.create(adv)
+        self._adv_index["group"].append(adv)
+        return group
+
+    # -- resource allocation (the Primitives' allocation operation) -----------------
+
+    def allocate(self, selector, workload, kind: str = "simpleclient"):
+        """Pick and commit a peer for ``workload`` using ``selector``.
+
+        This is the overlay's *resource allocation* primitive: the
+        broker builds the selection context from its registry, runs the
+        model, reserves the winner's ready time (so subsequent
+        allocations see the commitment) and returns the record.
+        Raises :class:`~repro.errors.NoCandidatesError` when no peer is
+        available.
+        """
+        from repro.selection.base import SelectionContext
+        from repro.selection.readytime import ReadyTimeEstimator
+
+        context = SelectionContext(
+            broker=self,
+            now=self.sim.now,
+            workload=workload,
+            candidates=self.candidates(kind=kind),
+        )
+        record = selector.select(context)
+        estimate = ReadyTimeEstimator(self).estimate(
+            record, workload, self.sim.now
+        )
+        self.reserve(record.peer_id, estimate.completion_at)
+        return record
+
+    # -- planning estimates (economic model support) ------------------------------
+
+    def estimate_transfer_seconds(self, peer_id: PeerId, bits: float) -> float:
+        """Broker's estimate of transferring ``bits`` to this peer.
+
+        Uses the observed EWMA goodput when history exists, else the
+        node's planned (mean) access rate; adds the observed petition
+        latency as fixed setup cost.
+        """
+        rec = self.record(peer_id)
+        host = self.network.host(rec.adv.hostname)
+        fallback = min(self.host.planned_up_bps(), host.planned_down_bps())
+        bps = rec.perf.estimated_transfer_bps(fallback)
+        setup = rec.perf.estimated_petition_latency(host.overhead_mean())
+        return setup + bits / bps
+
+    def estimate_exec_seconds(self, peer_id: PeerId, ops: float) -> float:
+        """Broker's estimate of executing ``ops`` on this peer."""
+        rec = self.record(peer_id)
+        host = self.network.host(rec.adv.hostname)
+        fallback = ops / host.planned_compute_seconds(ops) if ops > 0 else 1.0
+        rate = rec.perf.estimated_exec_rate(fallback)
+        if rate <= 0:
+            return float("inf")
+        return ops / rate
+
+
+def _adv_kind(adv: Advertisement) -> Optional[str]:
+    """Map an advertisement instance to its discovery kind."""
+    from repro.overlay.advertisements import (
+        GroupAdvertisement as G,
+        PeerAdvertisement as P,
+        PipeAdvertisement as Pi,
+        ResourceAdvertisement as R,
+    )
+
+    if isinstance(adv, P):
+        return "peer"
+    if isinstance(adv, Pi):
+        return "pipe"
+    if isinstance(adv, G):
+        return "group"
+    if isinstance(adv, R):
+        return "resource"
+    return None
+
+
+def _matches(adv: Advertisement, attrs) -> bool:
+    """Equality filter on advertisement fields."""
+    for key, want in attrs.items():
+        if getattr(adv, key, None) != want:
+            return False
+    return True

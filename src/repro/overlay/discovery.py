@@ -1,0 +1,92 @@
+"""Client-side discovery service.
+
+Peers discover resources (other peers, pipes, groups, shared files) by
+querying their broker's advertisement index; results are cached locally
+with their advertised lifetimes, JXTA-style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, TYPE_CHECKING
+
+from repro.errors import NotConnectedError
+from repro.overlay.advertisements import Advertisement, PeerAdvertisement
+from repro.overlay.messages import DiscoveryQuery, DiscoveryResponse, PublishAdvertisement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overlay.peer import PeerNode
+
+__all__ = ["DiscoveryService"]
+
+
+class DiscoveryService:
+    """Publish/query advertisements through the peer's broker."""
+
+    def __init__(self, peer: "PeerNode") -> None:
+        self.peer = peer
+        self.sim = peer.sim
+        #: Local cache per advertisement kind.
+        self._cache: Dict[str, List[Advertisement]] = {}
+
+    def publish(self, adv: Advertisement) -> None:
+        """Push an advertisement to the broker's index (fire-and-forget)."""
+        peer = self.peer
+        if peer.broker_adv is None:
+            raise NotConnectedError(f"{peer.name} has no broker to publish to")
+        broker_host = peer.network.host(peer.broker_adv.hostname)
+        peer.host.send(
+            broker_host,
+            PublishAdvertisement(publisher=peer.peer_id, adv=adv),
+            light=True,
+        )
+
+    def query(
+        self,
+        adv_kind: str,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ):
+        """Generator process: remote-query the broker.
+
+        Returns the tuple of matching advertisements; peer
+        advertisements are also folded into the local cache and the
+        peer's directory (id -> hostname).
+        """
+        peer = self.peer
+        if peer.broker_adv is None:
+            raise NotConnectedError(f"{peer.name} has no broker to query")
+        broker_host = peer.network.host(peer.broker_adv.hostname)
+        qid = peer.next_query_id()
+        query = DiscoveryQuery(
+            requester=peer.peer_id,
+            adv_kind=adv_kind,
+            attrs=dict(attrs or {}),
+            query_id=qid,
+        )
+        resp: DiscoveryResponse = yield self.sim.process(
+            peer.request(broker_host, query, ("disc", qid), light=True)
+        )
+        advs = resp.advertisements
+        cache = self._cache.setdefault(adv_kind, [])
+        for adv in advs:
+            if adv not in cache:
+                cache.append(adv)
+            if isinstance(adv, PeerAdvertisement):
+                peer.learn(adv)
+        return advs
+
+    def cached(self, adv_kind: str) -> tuple[Advertisement, ...]:
+        """Locally cached, still-fresh advertisements of one kind."""
+        now = self.sim.now
+        fresh = [a for a in self._cache.get(adv_kind, ()) if not a.is_expired(now)]
+        self._cache[adv_kind] = fresh
+        return tuple(fresh)
+
+    def flush_expired(self) -> int:
+        """Drop expired cache entries; returns how many were dropped."""
+        now = self.sim.now
+        dropped = 0
+        for kind, advs in self._cache.items():
+            fresh = [a for a in advs if not a.is_expired(now)]
+            dropped += len(advs) - len(fresh)
+            self._cache[kind] = fresh
+        return dropped

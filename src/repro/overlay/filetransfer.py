@@ -1,0 +1,541 @@
+"""The overlay's file-transmission protocol (the measured workload).
+
+Protocol (paper §4.2): the sender issues a *petition* for the transfer;
+the receiver acknowledges it; the file is then streamed in one or more
+*parts*, and after each part the receiver confirms correct reception
+and its availability to receive another part before the sender
+proceeds.
+
+Message classes and their cost model:
+
+* ``FilePetition`` — heavy (first contact: pipe resolution + XML
+  processing at the receiver).  Its delivery latency is exactly what
+  the paper's Figure 2 reports per peer.
+* bulk part data — a reliable unit transfer
+  (:meth:`~repro.simnet.transport.Host.reliable_transfer`): whole-unit
+  retransmission on loss, which is the mechanism behind Figure 5's
+  granularity result.
+* ``PartNotice`` / ``PartConfirm`` — light messages on the bound pipe;
+  the receiver charges a part-persistence I/O delay before confirming.
+
+Two sender APIs:
+
+* :meth:`FileTransferService.send_file` — one-shot: petition, stream
+  all parts, return a :class:`FileTransferOutcome`.
+* :meth:`FileTransferService.open_transfer` — returns a
+  :class:`TransferHandle` whose parts the caller sends one at a time
+  (the Figure 6 experiment re-runs peer selection between parts, so it
+  keeps one open handle per peer and routes each part to the currently
+  selected peer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import TransferAborted
+from repro.overlay.advertisements import PeerAdvertisement
+from repro.overlay.ids import PeerId, TransferId
+from repro.overlay.messages import (
+    FilePetition,
+    PartConfirm,
+    PartNotice,
+    PetitionAck,
+    TransferCancel,
+    TransferComplete,
+)
+from repro.simnet.transport import Datagram
+from repro.units import mbit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overlay.peer import PeerNode
+
+__all__ = [
+    "PartRecord",
+    "FileTransferOutcome",
+    "TransferHandle",
+    "FileTransferService",
+    "split_even",
+]
+
+#: ``FilePetition.n_parts`` value announcing an open-ended transfer.
+OPEN_ENDED = 0
+
+
+def split_even(total_bits: float, n_parts: int) -> List[float]:
+    """Split ``total_bits`` into ``n_parts`` equal part sizes.
+
+    The paper splits large files into fixed-size parts (50 Mb, 100 Mb,
+    6.25 Mb ...); equal division reproduces that for the sizes used.
+    """
+    if total_bits <= 0:
+        raise ValueError(f"total_bits must be > 0, got {total_bits}")
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    return [total_bits / n_parts] * n_parts
+
+
+@dataclass
+class PartRecord:
+    """Timing record of one transmitted unit."""
+
+    index: int
+    size_bits: float
+    started_at: float
+    bulk_done_at: float = 0.0
+    confirmed_at: float = 0.0
+    attempts: int = 0
+    is_last_mb: bool = False
+    #: Peer that received this part (per-part re-selection may route
+    #: different parts of one logical file to different peers).
+    dst: Optional[PeerId] = None
+
+    @property
+    def bulk_seconds(self) -> float:
+        """Data-streaming time (including retransmissions)."""
+        return self.bulk_done_at - self.started_at
+
+    @property
+    def total_seconds(self) -> float:
+        """Streaming + notice/confirm round."""
+        return self.confirmed_at - self.started_at
+
+
+@dataclass
+class FileTransferOutcome:
+    """Everything measured about one file transmission."""
+
+    transfer_id: TransferId
+    src: PeerId
+    dst: PeerId
+    filename: str
+    total_bits: float
+    n_parts: int
+    petition_sent_at: float
+    petition_received_at: float = 0.0
+    ack_received_at: float = 0.0
+    petition_attempts: int = 0
+    parts: List[PartRecord] = field(default_factory=list)
+    finished_at: float = 0.0
+    ok: bool = False
+
+    @property
+    def petition_time(self) -> float:
+        """Time for the peer to receive the petition (Figure 2)."""
+        return self.petition_received_at - self.petition_sent_at
+
+    @property
+    def total_duration(self) -> float:
+        """Petition send to final confirm (end-to-end)."""
+        return self.finished_at - self.petition_sent_at
+
+    @property
+    def transmission_time(self) -> float:
+        """Pure data phase: first part start to final confirm
+        (Figures 3 and 5 report this, net of the petition round)."""
+        if not self.parts:
+            return 0.0
+        return self.finished_at - self.parts[0].started_at
+
+    @property
+    def last_mb_time(self) -> Optional[float]:
+        """Time to complete the final Mb (Figure 4); None unless the
+        transfer was run with ``measure_last_mb=True``."""
+        for rec in reversed(self.parts):
+            if rec.is_last_mb:
+                return rec.total_seconds
+        return None
+
+    @property
+    def total_attempts(self) -> int:
+        """Bulk send attempts summed over all parts."""
+        return sum(p.attempts for p in self.parts)
+
+
+@dataclass
+class _IncomingTransfer:
+    """Receiver-side state for one inbound transfer."""
+
+    petition: FilePetition
+    confirmed_parts: Dict[int, float] = field(default_factory=dict)
+    done: bool = False
+
+
+class TransferHandle:
+    """Sender-side handle on one open (petitioned) transfer.
+
+    Obtained from :meth:`FileTransferService.open_transfer`.  Parts are
+    sent one at a time with :meth:`send_part`; call :meth:`close` when
+    done (or :meth:`cancel` to abandon).  Accumulates the same
+    :class:`FileTransferOutcome` record as the one-shot API.
+    """
+
+    def __init__(
+        self,
+        service: "FileTransferService",
+        dst_adv: PeerAdvertisement,
+        outcome: FileTransferOutcome,
+    ) -> None:
+        self.service = service
+        self.dst_adv = dst_adv
+        self.outcome = outcome
+        self._next_index = 0
+        self.closed = False
+
+    @property
+    def transfer_id(self) -> TransferId:
+        """The underlying transfer's id."""
+        return self.outcome.transfer_id
+
+    def send_part(self, size_bits: float, is_last_mb: bool = False):
+        """Generator process: stream one part and await its confirm.
+
+        Returns the :class:`PartRecord`; raises
+        :class:`TransferAborted` on retry exhaustion (the handle then
+        cancels itself).
+        """
+        if self.closed:
+            raise TransferAborted(f"transfer {self.transfer_id.short} is closed")
+        peer = self.service.peer
+        sim = self.service.sim
+        dst_host = peer.network.host(self.dst_adv.hostname)
+        index = self._next_index
+        self._next_index += 1
+        rec = PartRecord(
+            index=index,
+            size_bits=size_bits,
+            started_at=sim.now,
+            is_last_mb=is_last_mb,
+            dst=self.dst_adv.peer_id,
+        )
+        try:
+            report = yield sim.process(
+                peer.host.reliable_transfer(
+                    dst_host,
+                    size_bits,
+                    max_attempts=peer.config.bulk_max_attempts,
+                    loss_timeout_factor=peer.config.bulk_loss_timeout_factor,
+                )
+            )
+            rec.attempts = report.attempts
+            rec.bulk_done_at = sim.now
+            notice = PartNotice(
+                transfer_id=self.transfer_id, index=index, size_bits=size_bits
+            )
+            confirm: PartConfirm = yield sim.process(
+                peer.request(
+                    dst_host,
+                    notice,
+                    ("part-confirm", self.transfer_id, index),
+                    timeout=peer.config.confirm_timeout_s,
+                    retries=peer.config.confirm_retries,
+                    light=True,
+                )
+            )
+            if not confirm.ok:
+                raise TransferAborted(f"part {index} rejected by receiver")
+        except TransferAborted:
+            self.cancel("retries exhausted")
+            raise
+        rec.confirmed_at = sim.now
+        self.outcome.parts.append(rec)
+        # Per-part goodput observation for the selection models.
+        if rec.bulk_seconds > 0:
+            peer.observed_perf(self.dst_adv.peer_id).record_transfer(
+                sim.now, size_bits, rec.total_seconds
+            )
+        return rec
+
+    def close(self) -> FileTransferOutcome:
+        """Finish the transfer: notify the receiver, record success."""
+        if self.closed:
+            return self.outcome
+        peer = self.service.peer
+        dst_host = peer.network.host(self.dst_adv.hostname)
+        peer.host.send(
+            dst_host,
+            TransferComplete(
+                transfer_id=self.transfer_id, n_parts_sent=self._next_index
+            ),
+            light=True,
+        )
+        self.closed = True
+        self.service._track_outgoing(self.dst_adv.hostname, -1)
+        self.outcome.finished_at = self.service.sim.now
+        self.outcome.ok = True
+        peer.stats.pending_transfers -= 1
+        peer.stats.record_file_attempt(self.service.sim.now, ok=True)
+        peer.interaction_stats(self.dst_adv.hostname).record_file_attempt(
+            self.service.sim.now, ok=True
+        )
+        return self.outcome
+
+    def cancel(self, reason: str = "") -> None:
+        """Abandon the transfer (records a cancellation)."""
+        if self.closed:
+            return
+        peer = self.service.peer
+        dst_host = peer.network.host(self.dst_adv.hostname)
+        peer.host.send(
+            dst_host,
+            TransferCancel(transfer_id=self.transfer_id, reason=reason),
+            light=True,
+        )
+        self.closed = True
+        self.service._track_outgoing(self.dst_adv.hostname, -1)
+        self.outcome.finished_at = self.service.sim.now
+        self.outcome.ok = False
+        peer.stats.pending_transfers -= 1
+        peer.stats.record_file_attempt(self.service.sim.now, ok=False, cancelled=True)
+        peer.interaction_stats(self.dst_adv.hostname).record_file_attempt(
+            self.service.sim.now, ok=False, cancelled=True
+        )
+
+
+class FileTransferService:
+    """Sender and receiver sides of the transfer protocol for one peer."""
+
+    def __init__(self, peer: "PeerNode") -> None:
+        self.peer = peer
+        self.sim = peer.sim
+        self._incoming: Dict[TransferId, _IncomingTransfer] = {}
+        #: Waiters for inbound file completions, keyed by filename
+        #: (file-sharing fetches block on these).
+        self._file_waiters: Dict[str, list] = {}
+        #: Open *outbound* handles per destination hostname — the
+        #: ready-time estimator discounts these so a broker does not
+        #: mistake its own open transfer for foreign load.
+        self._outgoing_open: Dict[str, int] = {}
+
+    def outgoing_open(self, hostname: str) -> int:
+        """Open outbound transfers from this peer to ``hostname``."""
+        return self._outgoing_open.get(hostname, 0)
+
+    def _track_outgoing(self, hostname: str, delta: int) -> None:
+        n = self._outgoing_open.get(hostname, 0) + delta
+        if n:
+            self._outgoing_open[hostname] = n
+        else:
+            self._outgoing_open.pop(hostname, None)
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def open_transfer(
+        self,
+        dst_adv: PeerAdvertisement,
+        filename: str,
+        total_bits: float,
+        n_parts_hint: int = OPEN_ENDED,
+    ):
+        """Generator process: run the petition round and open a handle.
+
+        Returns a :class:`TransferHandle`.  Raises
+        :class:`TransferAborted` if the receiver never acknowledges.
+        """
+        peer = self.peer
+        cfg = peer.config
+        peer.learn(dst_adv)
+        dst_host = peer.network.host(dst_adv.hostname)
+        tid = peer.ids.transfer_id(f"{peer.name}->{dst_adv.name}:{filename}")
+        outcome = FileTransferOutcome(
+            transfer_id=tid,
+            src=peer.peer_id,
+            dst=dst_adv.peer_id,
+            filename=filename,
+            total_bits=total_bits,
+            n_parts=n_parts_hint,
+            petition_sent_at=self.sim.now,
+        )
+        petition = FilePetition(
+            transfer_id=tid,
+            sender=peer.peer_id,
+            filename=filename,
+            total_bits=total_bits,
+            n_parts=n_parts_hint,
+        )
+        peer.stats.pending_transfers += 1
+        try:
+            for attempt in range(1, cfg.petition_retries + 1):
+                waiter = peer.expect(("petition-ack", tid))
+                sent_at = self.sim.now
+                peer.host.send(dst_host, petition)  # heavy: first contact
+                yield self.sim.any_of(
+                    [waiter, self.sim.timeout(cfg.petition_timeout_s)]
+                )
+                if waiter.triggered:
+                    ack: PetitionAck = waiter.value
+                    peer.stats.record_message(self.sim.now, ok=True)
+                    if not ack.accepted:
+                        raise TransferAborted(
+                            f"{dst_host.hostname} refused transfer"
+                        )
+                    outcome.petition_sent_at = sent_at
+                    outcome.petition_received_at = ack.received_at
+                    outcome.ack_received_at = self.sim.now
+                    outcome.petition_attempts = attempt
+                    peer.observed_perf(dst_adv.peer_id).record_petition_latency(
+                        self.sim.now, ack.received_at - sent_at
+                    )
+                    self._track_outgoing(dst_adv.hostname, +1)
+                    return TransferHandle(self, dst_adv, outcome)
+                peer.cancel_wait(("petition-ack", tid), waiter)
+                peer.stats.record_message(self.sim.now, ok=False)
+            raise TransferAborted(
+                f"petition to {dst_host.hostname} unanswered after "
+                f"{cfg.petition_retries} attempts"
+            )
+        except TransferAborted:
+            peer.stats.pending_transfers -= 1
+            peer.stats.record_file_attempt(self.sim.now, ok=False, cancelled=True)
+            peer.interaction_stats(dst_adv.hostname).record_file_attempt(
+                self.sim.now, ok=False, cancelled=True
+            )
+            raise
+
+    def send_file(
+        self,
+        dst_adv: PeerAdvertisement,
+        filename: str,
+        total_bits: float,
+        n_parts: int = 1,
+        measure_last_mb: bool = False,
+    ):
+        """Generator process: one-shot transmit of a whole file.
+
+        Petition -> ack -> per-part (bulk + confirm) -> complete.  With
+        ``measure_last_mb=True`` the final megabit is transmitted as
+        its own unit so Figure 4's "time of the last Mb" is observable.
+        Returns a :class:`FileTransferOutcome`.
+        """
+        sizes = split_even(total_bits, n_parts)
+        one_mb = mbit(1)
+        if measure_last_mb and sizes[-1] > one_mb:
+            last = sizes.pop()
+            sizes.append(last - one_mb)
+            sizes.append(one_mb)
+
+        handle: TransferHandle = yield self.sim.process(
+            self.open_transfer(
+                dst_adv, filename, total_bits, n_parts_hint=len(sizes)
+            )
+        )
+        handle.outcome.n_parts = n_parts
+        n_units = len(sizes)
+        for index, size in enumerate(sizes):
+            yield self.sim.process(
+                handle.send_part(
+                    size,
+                    is_last_mb=measure_last_mb and index == n_units - 1,
+                )
+            )
+        outcome = handle.close()
+        # Whole-file goodput feeds the ready-time estimator.
+        hist = self.peer.observed_perf(dst_adv.peer_id)
+        if outcome.transmission_time > 0:
+            hist.record_transfer(
+                self.sim.now, total_bits, outcome.transmission_time
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Receiver side (driven by PeerNode's handlers)
+    # ------------------------------------------------------------------
+
+    def handle_petition(self, dgram: Datagram) -> None:
+        """Accept an inbound transfer and ack readiness."""
+        petition: FilePetition = dgram.payload
+        peer = self.peer
+        state = self._incoming.get(petition.transfer_id)
+        if state is None:
+            state = _IncomingTransfer(petition=petition)
+            self._incoming[petition.transfer_id] = state
+            peer.stats.pending_transfers += 1
+        src_host = peer.network.host(dgram.src)
+        ack = PetitionAck(
+            transfer_id=petition.transfer_id,
+            accepted=True,
+            received_at=self.sim.now,
+        )
+        peer.host.send(src_host, ack, light=True)
+
+    def handle_part_notice(self, dgram: Datagram) -> None:
+        """Persist a received part (I/O delay), then confirm it."""
+        notice: PartNotice = dgram.payload
+        self.sim.process(
+            self._confirm_part(dgram.src, notice),
+            name=f"confirm@{self.peer.name}",
+        )
+
+    def _confirm_part(self, src_hostname: str, notice: PartNotice):
+        peer = self.peer
+        state = self._incoming.get(notice.transfer_id)
+        src_host = peer.network.host(src_hostname)
+        already = state is not None and notice.index in state.confirmed_parts
+        if not already:
+            io_s = (
+                peer.config.part_io_fixed_s
+                + notice.size_bits / peer.config.part_io_bps
+            )
+            yield io_s
+            if state is not None:
+                state.confirmed_parts[notice.index] = self.sim.now
+                expected = state.petition.n_parts
+                if expected != OPEN_ENDED and len(state.confirmed_parts) >= expected:
+                    self._finish_incoming(state)
+        if not peer.host.is_up:
+            return  # crashed while persisting: nothing to confirm
+        confirm = PartConfirm(
+            transfer_id=notice.transfer_id,
+            index=notice.index,
+            ok=True,
+            received_at=self.sim.now,
+        )
+        peer.host.send(src_host, confirm, light=True)
+
+    def _finish_incoming(self, state: _IncomingTransfer) -> None:
+        if not state.done:
+            state.done = True
+            self.peer.stats.pending_transfers -= 1
+            waiters = self._file_waiters.pop(state.petition.filename, None)
+            if waiters:
+                for ev in waiters:
+                    ev.succeed(state.petition)
+
+    def wait_for_file(self, filename: str):
+        """Event: an inbound transfer of ``filename`` completes.
+
+        The event's value is the transfer's :class:`FilePetition`.
+        Register before triggering the transfer to avoid races.
+        """
+        ev = self.sim.event(name=f"file-arrival({filename})@{self.peer.name}")
+        self._file_waiters.setdefault(filename, []).append(ev)
+        return ev
+
+    def cancel_wait_for_file(self, filename: str, event) -> None:
+        """Withdraw a :meth:`wait_for_file` registration."""
+        waiters = self._file_waiters.get(filename)
+        if waiters and event in waiters:
+            waiters.remove(event)
+            if not waiters:
+                del self._file_waiters[filename]
+
+    def handle_complete(self, dgram: Datagram) -> None:
+        """Close receiver state for an open-ended transfer."""
+        msg: TransferComplete = dgram.payload
+        state = self._incoming.get(msg.transfer_id)
+        if state is not None:
+            self._finish_incoming(state)
+
+    def handle_cancel(self, dgram: Datagram) -> None:
+        """Drop receiver state for a cancelled transfer."""
+        cancel: TransferCancel = dgram.payload
+        state = self._incoming.pop(cancel.transfer_id, None)
+        if state is not None:
+            self._finish_incoming(state)
+
+    def incoming_open(self) -> int:
+        """Number of inbound transfers still in progress."""
+        return sum(1 for s in self._incoming.values() if not s.done)

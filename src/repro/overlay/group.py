@@ -1,0 +1,103 @@
+"""Peergroup management.
+
+JXTA organizes peers into *peergroups*; the overlay's brokers govern
+membership.  A :class:`PeerGroup` is broker-side state: the group
+advertisement plus the current member set.  Clients join/leave through
+``GroupJoinRequest`` messages (see :class:`repro.overlay.broker.Broker`)
+or directly through this API in single-process experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from repro.errors import GroupMembershipError
+from repro.overlay.advertisements import GroupAdvertisement
+from repro.overlay.ids import GroupId, PeerId
+
+__all__ = ["PeerGroup", "GroupRegistry"]
+
+
+@dataclass
+class PeerGroup:
+    """One peergroup: advertisement + members."""
+
+    adv: GroupAdvertisement
+    members: set[PeerId] = field(default_factory=set)
+
+    @property
+    def group_id(self) -> GroupId:
+        """The group's id (from its advertisement)."""
+        return self.adv.group_id
+
+    @property
+    def name(self) -> str:
+        """Human-readable group name."""
+        return self.adv.name
+
+    def add(self, peer: PeerId) -> None:
+        """Add a member; joining twice is an error."""
+        if peer in self.members:
+            raise GroupMembershipError(f"{peer} already in group {self.name!r}")
+        self.members.add(peer)
+
+    def remove(self, peer: PeerId) -> None:
+        """Remove a member; leaving a group you're not in is an error."""
+        if peer not in self.members:
+            raise GroupMembershipError(f"{peer} not in group {self.name!r}")
+        self.members.remove(peer)
+
+    def __contains__(self, peer: PeerId) -> bool:
+        return peer in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def member_ids(self) -> tuple[PeerId, ...]:
+        """Members in a deterministic (sorted) order."""
+        return tuple(sorted(self.members))
+
+
+class GroupRegistry:
+    """Broker-side index of peergroups."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[GroupId, PeerGroup] = {}
+
+    def create(self, adv: GroupAdvertisement) -> PeerGroup:
+        """Register a new group from its advertisement."""
+        if adv.group_id in self._groups:
+            raise GroupMembershipError(f"group {adv.name!r} already exists")
+        group = PeerGroup(adv=adv)
+        self._groups[adv.group_id] = group
+        return group
+
+    def get(self, group_id: GroupId) -> PeerGroup:
+        """Look up a group by id."""
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise GroupMembershipError(f"unknown group {group_id}") from None
+
+    def by_name(self, name: str) -> PeerGroup:
+        """Look up a group by (unique) name."""
+        for g in self._groups.values():
+            if g.name == name:
+                return g
+        raise GroupMembershipError(f"no group named {name!r}")
+
+    def drop_member_everywhere(self, peer: PeerId) -> int:
+        """Remove a departing peer from all groups; returns # removals."""
+        n = 0
+        for g in self._groups.values():
+            if peer in g.members:
+                g.members.remove(peer)
+                n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[PeerGroup]:
+        return iter(self._groups.values())

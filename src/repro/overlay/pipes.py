@@ -1,0 +1,123 @@
+"""JXTA-style pipes.
+
+Pipes are the overlay's channel abstraction: a *unicast* pipe connects
+two peers (bind once — a heavy resolution round — then exchange light
+messages), and a *propagate* pipe fans a message out to every member of
+a peergroup.  The file-transfer protocol conceptually rides on pipes;
+the petition *is* the resolution round, which is why petition reception
+(Figure 2) is so much slower than subsequent per-part confirmations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.errors import PipeClosedError
+from repro.overlay.advertisements import PeerAdvertisement, PipeAdvertisement
+from repro.overlay.ids import PipeId
+from repro.overlay.messages import PipeBindAck, PipeBindRequest, PipeMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overlay.peer import PeerNode
+
+__all__ = ["UnicastPipe", "PropagatePipe"]
+
+
+class UnicastPipe:
+    """A point-to-point pipe from a local peer to a remote peer."""
+
+    def __init__(self, peer: "PeerNode", remote: PeerAdvertisement) -> None:
+        self.peer = peer
+        self.sim = peer.sim
+        self.remote = remote
+        peer.learn(remote)
+        self.pipe_id: PipeId = peer.ids.pipe_id(f"{peer.name}->{remote.name}")
+        self.bound = False
+        self.closed = False
+        self.messages_sent = 0
+
+    def advertisement(self) -> PipeAdvertisement:
+        """This pipe's advertisement (publishable via discovery)."""
+        return PipeAdvertisement(
+            published_at=self.sim.now,
+            pipe_id=self.pipe_id,
+            name=f"{self.peer.name}->{self.remote.name}",
+            pipe_type="unicast",
+            owner=self.peer.peer_id,
+        )
+
+    def bind(self):
+        """Generator process: resolve the remote end (heavy round).
+
+        Must complete before :meth:`send`.  Returns the bind ack.
+        """
+        if self.closed:
+            raise PipeClosedError(f"pipe {self.pipe_id.short} is closed")
+        peer = self.peer
+        dst = peer.network.host(self.remote.hostname)
+        req = PipeBindRequest(pipe_id=self.pipe_id, requester=peer.peer_id)
+        ack: PipeBindAck = yield self.sim.process(
+            peer.request(dst, req, ("pipe-bind", self.pipe_id))
+        )
+        if not ack.accepted:
+            raise PipeClosedError(f"remote refused pipe {self.pipe_id.short}")
+        self.bound = True
+        return ack
+
+    def send(self, body: Any) -> None:
+        """Send a payload over the bound pipe (light message)."""
+        if self.closed:
+            raise PipeClosedError(f"pipe {self.pipe_id.short} is closed")
+        if not self.bound:
+            raise PipeClosedError(f"pipe {self.pipe_id.short} is not bound")
+        dst = self.peer.network.host(self.remote.hostname)
+        msg = PipeMessage(pipe_id=self.pipe_id, sender=self.peer.peer_id, body=body)
+        self.peer.host.send(dst, msg, light=True)
+        self.messages_sent += 1
+
+    def receive(self):
+        """Event: the next message addressed to this pipe at the local
+        peer (the *remote* end calls this on its own pipe object)."""
+        return self.peer.expect(("pipe-msg", self.pipe_id))
+
+    def close(self) -> None:
+        """Close the pipe; further sends raise."""
+        self.closed = True
+        self.bound = False
+
+
+class PropagatePipe:
+    """A one-to-many pipe over a set of member peers."""
+
+    def __init__(self, peer: "PeerNode", name: str) -> None:
+        self.peer = peer
+        self.sim = peer.sim
+        self.name = name
+        self.pipe_id: PipeId = peer.ids.pipe_id(f"propagate:{name}")
+        self.members: list[PeerAdvertisement] = []
+        self.closed = False
+        self.messages_sent = 0
+
+    def attach(self, advs: Iterable[PeerAdvertisement]) -> None:
+        """Add member peers (duplicates by peer id are ignored)."""
+        known = {m.peer_id for m in self.members}
+        for adv in advs:
+            if adv.peer_id not in known and adv.peer_id != self.peer.peer_id:
+                self.members.append(adv)
+                known.add(adv.peer_id)
+                self.peer.learn(adv)
+
+    def send(self, body: Any) -> int:
+        """Fan ``body`` out to all members; returns the member count."""
+        if self.closed:
+            raise PipeClosedError(f"propagate pipe {self.name!r} is closed")
+        msg = PipeMessage(pipe_id=self.pipe_id, sender=self.peer.peer_id, body=body)
+        for adv in self.members:
+            dst = self.peer.network.host(adv.hostname)
+            self.peer.host.send(dst, msg, light=True)
+        self.messages_sent += 1
+        return len(self.members)
+
+    def close(self) -> None:
+        """Close the pipe; further sends raise."""
+        self.closed = True

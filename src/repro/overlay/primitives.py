@@ -1,0 +1,149 @@
+"""The Primitives module — the overlay's façade API.
+
+The paper (§3) describes the Primitives as "a set of basic
+functionalities ... part of any P2P application": peer discovery,
+peer-resource discovery, peer selection, resource allocation, file/data
+sharing and transmission, instant communication and peergroup
+functionality, plus executable-task management.  :class:`Primitives`
+bundles those operations over one local peer so applications program
+against a single object.
+
+All long-running operations are generator processes: run them with
+``sim.process(...)`` and wait for the returned event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import SelectionError
+from repro.overlay.advertisements import (
+    PeerAdvertisement,
+    ResourceAdvertisement,
+)
+from repro.overlay.ids import GroupId
+from repro.overlay.messages import GroupJoinAck, GroupJoinRequest
+from repro.overlay.pipes import PropagatePipe, UnicastPipe
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overlay.peer import PeerNode
+    from repro.selection.base import PeerSelector, SelectionContext
+
+__all__ = ["Primitives"]
+
+
+class Primitives:
+    """Application-facing façade over one :class:`PeerNode`."""
+
+    def __init__(self, peer: "PeerNode") -> None:
+        self.peer = peer
+        self.sim = peer.sim
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover_peers(self, **attrs: Any):
+        """Generator process: peer advertisements matching ``attrs``."""
+        return self.peer.discovery.query("peer", attrs)
+
+    def discover_resources(self, **attrs: Any):
+        """Generator process: resource advertisements matching ``attrs``."""
+        return self.peer.discovery.query("resource", attrs)
+
+    def share_file(self, name: str, size_bits: float) -> ResourceAdvertisement:
+        """Publish a shared file (catalog + advertisement)."""
+        return self.peer.sharing.share(name, size_bits)
+
+    def fetch_file(self, name: str, choose=None, n_parts: int = 4):
+        """Generator process: discover, pick a provider, download."""
+        return self.peer.sharing.fetch(name, choose=choose, n_parts=n_parts)
+
+    # -- peer selection ------------------------------------------------------
+
+    def select_peer(
+        self,
+        selector: "PeerSelector",
+        context: "SelectionContext",
+    ):
+        """Pick one peer from the context's candidates via ``selector``.
+
+        Raises :class:`SelectionError` subclasses on empty candidate
+        sets or misconfigured criteria.
+        """
+        return selector.select(context)
+
+    # -- file transmission ------------------------------------------------------
+
+    def send_file(
+        self,
+        dst: PeerAdvertisement,
+        filename: str,
+        total_bits: float,
+        n_parts: int = 1,
+        measure_last_mb: bool = False,
+    ):
+        """Generator process: transmit a file (petition/parts/confirms)."""
+        return self.peer.transfers.send_file(
+            dst,
+            filename=filename,
+            total_bits=total_bits,
+            n_parts=n_parts,
+            measure_last_mb=measure_last_mb,
+        )
+
+    # -- task management ------------------------------------------------------------
+
+    def submit_task(
+        self,
+        dst: PeerAdvertisement,
+        name: str,
+        ops: float,
+        input_bits: float = 0.0,
+        input_parts: int = 1,
+    ):
+        """Generator process: execute a task on ``dst`` (optionally
+        shipping its input file first)."""
+        return self.peer.tasks.submit(
+            dst, name=name, ops=ops, input_bits=input_bits, input_parts=input_parts
+        )
+
+    # -- instant communication ----------------------------------------------------------
+
+    def send_message(self, dst: PeerAdvertisement, text: str) -> None:
+        """Instant message (fire-and-forget)."""
+        self.peer.send_im(dst, text)
+
+    def next_message(self):
+        """Event: the next instant message delivered to this peer."""
+        return self.peer.im_inbox.get()
+
+    # -- pipes -----------------------------------------------------------------------------
+
+    def open_pipe(self, remote: PeerAdvertisement) -> UnicastPipe:
+        """Create (but not yet bind) a unicast pipe to ``remote``."""
+        return UnicastPipe(self.peer, remote)
+
+    def open_propagate_pipe(
+        self, name: str, members: Sequence[PeerAdvertisement] = ()
+    ) -> PropagatePipe:
+        """Create a propagate pipe over ``members``."""
+        pipe = PropagatePipe(self.peer, name)
+        pipe.attach(members)
+        return pipe
+
+    # -- peergroups -----------------------------------------------------------------------------
+
+    def join_group(self, group_id: GroupId):
+        """Generator process: join a broker-managed peergroup."""
+        peer = self.peer
+        broker_host = peer.network.host(peer.broker_adv.hostname)
+        req = GroupJoinRequest(peer_id=peer.peer_id, group_id=group_id)
+        ack: GroupJoinAck = yield self.sim.process(
+            peer.request(broker_host, req, ("group-join", group_id), light=True)
+        )
+        if not ack.accepted:
+            raise SelectionError(f"group join refused for {group_id}")
+        return ack
+
+    def discover_groups(self, **attrs: Any):
+        """Generator process: group advertisements matching ``attrs``."""
+        return self.peer.discovery.query("group", attrs)

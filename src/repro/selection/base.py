@@ -1,0 +1,91 @@
+"""Peer-selection interfaces.
+
+A *selector* picks one peer out of a candidate set for a given
+workload.  Selectors see the world exactly the way the paper's broker
+does: through :class:`~repro.overlay.broker.PeerRecord` — the peer's
+advertisement, its latest §2.2 statistics snapshot, its broker-observed
+performance history and its planned-commitment bookkeeping.  They never
+peek at simulator ground truth, so a selector's quality is an honest
+function of the information the overlay actually exposes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence, TYPE_CHECKING
+
+from repro.errors import NoCandidatesError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay.broker import Broker, PeerRecord
+
+__all__ = ["Workload", "SelectionContext", "PeerSelector", "RankedCandidate"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What the selected peer will be asked to do.
+
+    ``transfer_bits``/``n_parts`` describe a file transmission; ``ops``
+    a computation.  Either may be zero.
+    """
+
+    transfer_bits: float = 0.0
+    n_parts: int = 1
+    ops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.transfer_bits < 0 or self.ops < 0:
+            raise ValueError("workload sizes must be >= 0")
+        if self.n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+
+
+@dataclass
+class SelectionContext:
+    """Inputs to one selection decision."""
+
+    broker: "Broker"
+    now: float
+    workload: Workload
+    candidates: Sequence["PeerRecord"] = field(default_factory=list)
+
+    def require_candidates(self) -> Sequence["PeerRecord"]:
+        """Candidates, raising :class:`NoCandidatesError` when empty."""
+        if not self.candidates:
+            raise NoCandidatesError("selection invoked with no candidates")
+        return self.candidates
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate with the selector's score (lower = preferred)."""
+
+    score: float
+    record: "PeerRecord"
+
+
+class PeerSelector(ABC):
+    """Strategy interface for all selection models."""
+
+    #: Human-readable model name (used by experiment reports).
+    name: str = "abstract"
+
+    @abstractmethod
+    def rank(self, context: SelectionContext) -> List[RankedCandidate]:
+        """Return all candidates ordered best-first.
+
+        Ties are broken deterministically (peer name) so repeated runs
+        select identically.
+        """
+
+    def select(self, context: SelectionContext) -> "PeerRecord":
+        """Pick the best candidate (first of :meth:`rank`)."""
+        ranked = self.rank(context)
+        if not ranked:
+            raise NoCandidatesError(f"{self.name}: nothing to select from")
+        return ranked[0].record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

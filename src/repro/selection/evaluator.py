@@ -1,0 +1,97 @@
+"""Data evaluator (cost) selection model — paper §2.2.
+
+"This model can be seen as a cost model since a cost is assigned to
+each peer based on historical and statistical data for the peer. …
+Each of the above criteria is given a certain weight (either user
+defined or pre-specified) … the best cost peer is then chosen."
+
+The evaluator computes a weighted utility over the criteria catalog
+(:mod:`repro.selection.criteria`) using each candidate's latest
+statistics snapshot at the broker, and picks the argmax.  The
+*same-priority* mode of the paper's Figure 6 is the uniform-weight
+profile.
+
+Note what this model deliberately does **not** see: current network
+rates or planned commitments — only historical/statistical shares.
+That is exactly the informational difference the paper's Figure 6
+exposes between this model and the economic scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Union
+
+from repro.selection.base import (
+    PeerSelector,
+    RankedCandidate,
+    SelectionContext,
+)
+from repro.selection.criteria import (
+    WEIGHT_PROFILES,
+    evaluate_snapshot,
+    normalize_weights,
+)
+from repro.errors import CriteriaError
+
+__all__ = ["DataEvaluatorSelector"]
+
+
+class DataEvaluatorSelector(PeerSelector):
+    """Weighted-criteria cost model.
+
+    ``tiebreak_rng``: peers whose utilities are within
+    ``tie_tolerance`` of the best are *equivalent under the cost
+    model*; with an rng supplied, one of them is chosen uniformly
+    (mirroring an operator picking arbitrarily among equal-cost
+    peers).  Without an rng the order is deterministic by name.
+    """
+
+    name = "data-evaluator"
+
+    def __init__(
+        self,
+        weights: Union[str, Mapping[str, float]] = "same_priority",
+        tiebreak_rng=None,
+        tie_tolerance: float = 0.01,
+    ) -> None:
+        if tie_tolerance < 0:
+            raise CriteriaError("tie_tolerance must be >= 0")
+        self._tiebreak_rng = tiebreak_rng
+        self.tie_tolerance = tie_tolerance
+        if isinstance(weights, str):
+            profile = WEIGHT_PROFILES.get(weights)
+            if profile is None:
+                raise CriteriaError(
+                    f"unknown weight profile {weights!r}; "
+                    f"known: {sorted(WEIGHT_PROFILES)}"
+                )
+            self.profile_name = weights
+            raw = profile
+        else:
+            self.profile_name = "custom"
+            raw = weights
+        self.weights = normalize_weights(raw)
+        self.name = f"data-evaluator[{self.profile_name}]"
+
+    def utility(self, snapshot: Mapping[str, float]) -> float:
+        """Weighted utility of one peer's snapshot (higher = better)."""
+        return evaluate_snapshot(snapshot, self.weights)
+
+    def rank(self, context: SelectionContext) -> List[RankedCandidate]:
+        candidates = context.require_candidates()
+        scored = [
+            # Score is a cost: negate utility so lower = preferred.
+            RankedCandidate(
+                score=-self.utility(rec.selection_snapshot(context.now)),
+                record=rec,
+            )
+            for rec in candidates
+        ]
+        scored.sort(key=lambda rc: (rc.score, rc.record.adv.name))
+        if self._tiebreak_rng is not None and len(scored) > 1:
+            best = scored[0].score
+            k = sum(1 for rc in scored if rc.score <= best + self.tie_tolerance)
+            if k > 1:
+                pick = int(self._tiebreak_rng.integers(0, k))
+                scored[0], scored[pick] = scored[pick], scored[0]
+        return scored

@@ -1,0 +1,99 @@
+"""Model recommendation — operationalizing the paper's conclusion.
+
+"Our experimental study showed that in order to achieve efficient P2P
+applications, appropriate selection model should be used according to
+the type and characteristics of the application."  This module encodes
+that guidance as a function: given the workload and what information is
+actually available (history depth, liveness of statistics, a user's
+experience), recommend a selector.
+
+The rules distil the reproduction's measurements:
+
+* with broker history and live queue state, the **economic** model wins
+  on both transfer and execution workloads (Figures 6, scale, churn);
+* with statistics but little first-party rate history, the **data
+  evaluator** screens out unreliable peers without needing goodput
+  observations;
+* when reliability varies and speed matters, the **hybrid** composes
+  both;
+* with nothing but the user's own experience, **quick peer** is the
+  only informed option — good enough at fine transfer granularity
+  (Figure 6's 16-part convergence), risky at coarse granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.selection.base import PeerSelector, Workload
+from repro.selection.evaluator import DataEvaluatorSelector
+from repro.selection.hybrid import HybridSelector
+from repro.selection.preference import PreferenceTable, UserPreferenceSelector
+from repro.selection.scheduling import SchedulingBasedSelector
+
+__all__ = ["AvailableInformation", "recommend_selector"]
+
+
+@dataclass(frozen=True)
+class AvailableInformation:
+    """What the caller actually has to select with.
+
+    Attributes
+    ----------
+    broker_history:
+        The broker holds first-party performance observations
+        (goodput/latency EWMAs) for the candidates.
+    live_statistics:
+        Candidates push keepalives/stat reports, so queue state and
+        §2.2 shares are reasonably fresh.
+    reliability_varies:
+        Candidates are known to differ in transfer reliability
+        (cancellation/failure history exists).
+    user_experience:
+        A user preference table is available (their own past
+        observations).
+    """
+
+    broker_history: bool = True
+    live_statistics: bool = True
+    reliability_varies: bool = False
+    user_experience: bool = False
+
+
+def recommend_selector(
+    workload: Workload,
+    info: AvailableInformation = AvailableInformation(),
+    user_table: PreferenceTable | None = None,
+) -> PeerSelector:
+    """Pick a selection model for ``workload`` given ``info``.
+
+    Raises ``ValueError`` when nothing informed can be built (no
+    statistics, no history, no user experience): blind selection is a
+    *baseline*, not a recommendation.
+    """
+    if info.user_experience and user_table is None:
+        raise ValueError("user_experience requires a preference table")
+
+    if info.broker_history and info.live_statistics:
+        if info.reliability_varies:
+            # Speed-aware but screened: the hybrid's home turf.
+            return HybridSelector()
+        return SchedulingBasedSelector()
+
+    if info.live_statistics:
+        # No first-party rates: rank on the §2.2 shares.  Transfer
+        # workloads weight the file criteria, execution workloads the
+        # task criteria.
+        if workload.ops > 0 and workload.transfer_bits == 0:
+            return DataEvaluatorSelector("task_oriented")
+        if workload.transfer_bits > 0:
+            return DataEvaluatorSelector("transfer_oriented")
+        return DataEvaluatorSelector("same_priority")
+
+    if info.user_experience:
+        return UserPreferenceSelector(user_table, mode="quick_peer")
+
+    raise ValueError(
+        "no information to select with: provide broker history, live "
+        "statistics, or a user preference table"
+    )

@@ -1,0 +1,97 @@
+"""Scheduling-based (economic) selection model — paper §2.1.
+
+"The idea is to find/provision as many as possible available *idle*
+peers to which the new incoming jobs can be allocated. …  Crucial to
+this model is the *ready time* of peers in order to plan in advance the
+allocation of jobs to P2P nodes.  The estimated time is computed by the
+broker peers based on historical data kept for the peergroup.  In case
+several peers are available candidates for executing the task, some
+additional data and criteria such as CPU speed are used."
+
+Concretely:
+
+1. Provision the **idle** subset of the candidates (no live queue
+   content, no planned commitment); fall back to all candidates when
+   nobody is idle.
+2. Score each by estimated **completion time** (ready time + service
+   estimate from :class:`~repro.selection.readytime.ReadyTimeEstimator`).
+3. Among near-ties (within ``tiebreak_tolerance`` relative completion
+   time) prefer the higher **CPU speed**.
+4. Optionally **reserve** the winner at the broker so subsequent
+   allocations see the commitment (the "plan in advance" part).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.selection.base import (
+    PeerSelector,
+    RankedCandidate,
+    SelectionContext,
+)
+from repro.selection.readytime import ReadyTimeEstimator
+
+__all__ = ["SchedulingBasedSelector"]
+
+
+class SchedulingBasedSelector(PeerSelector):
+    """The economic scheduling model."""
+
+    name = "economic"
+
+    def __init__(
+        self,
+        estimator: Optional[ReadyTimeEstimator] = None,
+        prefer_idle: bool = True,
+        reserve: bool = True,
+        tiebreak_tolerance: float = 0.05,
+    ) -> None:
+        if not 0 <= tiebreak_tolerance < 1:
+            raise ValueError("tiebreak_tolerance must be in [0, 1)")
+        self._estimator = estimator
+        self.prefer_idle = prefer_idle
+        self.reserve = reserve
+        self.tiebreak_tolerance = tiebreak_tolerance
+
+    def _get_estimator(self, context: SelectionContext) -> ReadyTimeEstimator:
+        if self._estimator is not None:
+            return self._estimator
+        return ReadyTimeEstimator(context.broker)
+
+    def rank(self, context: SelectionContext) -> List[RankedCandidate]:
+        candidates = list(context.require_candidates())
+        estimator = self._get_estimator(context)
+        if self.prefer_idle:
+            idle = [r for r in candidates if estimator.is_idle(r, context.now)]
+            if idle:
+                candidates = idle
+        estimates = [
+            (estimator.estimate(rec, context.workload, context.now), rec)
+            for rec in candidates
+        ]
+        best_completion = min(e.completion_at for e, _ in estimates)
+        span = max(best_completion - context.now, 1e-9)
+
+        def sort_key(pair):
+            est, rec = pair
+            rel = (est.completion_at - context.now) / span
+            # Bucket near-ties together, then break by CPU speed
+            # (descending), then by name for determinism.
+            bucket = 0 if rel <= 1.0 + self.tiebreak_tolerance else rel
+            return (bucket, -rec.adv.cpu_speed, rec.adv.name)
+
+        estimates.sort(key=sort_key)
+        ranked = [
+            RankedCandidate(score=est.completion_at - context.now, record=rec)
+            for est, rec in estimates
+        ]
+        return ranked
+
+    def select(self, context: SelectionContext):
+        record = super().select(context)
+        if self.reserve:
+            estimator = self._get_estimator(context)
+            est = estimator.estimate(record, context.workload, context.now)
+            context.broker.reserve(record.peer_id, est.completion_at)
+        return record

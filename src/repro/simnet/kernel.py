@@ -1,0 +1,626 @@
+"""Discrete-event simulation kernel.
+
+A small, self-contained process-based DES engine in the style of SimPy,
+tuned for the overlay workloads in this library:
+
+* :class:`Simulator` — the event loop: a binary-heap agenda keyed by
+  ``(time, priority, sequence)``; the sequence number makes scheduling
+  deterministic for equal timestamps.
+* :class:`Event` — one-shot occurrence with callbacks; it can *succeed*
+  with a value or *fail* with an exception.
+* :class:`Process` — a generator-coroutine driven by the simulator.
+  Processes ``yield`` delays (numbers), other events, or other
+  processes; they can be interrupted.
+* :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` — combinators used by
+  the overlay protocols (e.g. "wait for the confirmation or a timeout").
+* :class:`Resource` and :class:`Store` — capacity-limited resource and
+  FIFO object store used for CPU slots and message queues.
+
+The kernel is single-threaded and fully deterministic: runs with the
+same seed and the same call order produce identical traces.  The hot
+loop avoids per-event allocation beyond the heap entries themselves
+(per the HPC guide: make it correct first, keep the inner loop lean).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import (
+    ProcessInterrupted,
+    SchedulingInPastError,
+    SimStopped,
+    SimulationError,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+    "Store",
+    "PENDING",
+]
+
+#: Sentinel for an event value that has not been decided yet.
+PENDING = object()
+
+#: Default priority for scheduled events; lower runs first at equal time.
+NORMAL_PRIORITY = 1
+#: Priority used by :class:`Timeout` via ``urgent=True`` scheduling.
+URGENT_PRIORITY = 0
+
+
+class Event:
+    """A one-shot occurrence on the simulator's timeline.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current
+    simulation time.  Once processed it is immutable.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (``callbacks`` is dropped)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self, NORMAL_PRIORITY)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` raised at their
+        ``yield``.  Failing an event nobody waits on raises at the end
+        of the run (defused automatically by :class:`AnyOf`).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self, NORMAL_PRIORITY)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else "failed")
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.sim.now:g}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingInPastError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._schedule_event(self, URGENT_PRIORITY, delay=self.delay)
+
+
+class _Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim, name="init")
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule_event(self, URGENT_PRIORITY)
+
+
+class Process(Event):
+    """A generator coroutine driven by the simulator.
+
+    A process is itself an :class:`Event` that triggers when the
+    generator returns (value = the generator's return value) or raises
+    (the process fails with that exception).
+
+    Inside the generator::
+
+        yield 1.5              # sleep 1.5 simulated seconds
+        yield some_event       # wait until the event triggers
+        value = yield other    # receive the event's value
+        result = yield proc    # wait for a child process
+
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process target must be a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupted` into the process.
+
+        The process resumes immediately (at the current simulation
+        time) with the exception raised at its current ``yield``.
+        Interrupting a finished process is an error; interrupting a
+        process that has not started yet is allowed and takes effect at
+        its first resume.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        exc = ProcessInterrupted(cause)
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.processed:
+            # Detach from the event we were waiting on.
+            if waiting.callbacks is not None and self._resume in waiting.callbacks:
+                waiting.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interrupt_ev = Event(self.sim, name="interrupt")
+        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev._ok = False
+        interrupt_ev._value = exc
+        self.sim._schedule_event(interrupt_ev, URGENT_PRIORITY)
+
+    # -- stepping ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.sim._active_process = self
+        gen = self._generator
+        while True:
+            try:
+                if event._ok:
+                    target = gen.send(event._value)
+                else:
+                    # The exception is "consumed" by handing it to the
+                    # process; it will propagate out of the generator if
+                    # unhandled and fail this process instead.
+                    target = gen.throw(event._value)
+            except StopIteration as stop:
+                self._waiting_on = None
+                self.sim._active_process = None
+                self._ok = True
+                self._value = stop.value
+                self.sim._schedule_event(self, NORMAL_PRIORITY)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process failure
+                self._waiting_on = None
+                self.sim._active_process = None
+                self._ok = False
+                self._value = exc
+                self.sim._schedule_event(self, NORMAL_PRIORITY)
+                return
+
+            event = self._coerce(target)
+            if event.processed:
+                # Already happened: loop and feed its value straight in.
+                continue
+            self._waiting_on = event
+            event.callbacks.append(self._resume)
+            break
+        self.sim._active_process = None
+
+    def _coerce(self, target: Any) -> Event:
+        """Turn a ``yield`` target into an event to wait on."""
+        if isinstance(target, Event):
+            if target.sim is not self.sim:
+                raise SimulationError("cannot wait on an event from another simulator")
+            return target
+        if isinstance(target, (int, float)):
+            return Timeout(self.sim, float(target))
+        raise SimulationError(
+            f"process {self.name!r} yielded unsupported value {target!r}"
+        )
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name=type(self).__name__)
+        self.events: tuple[Event, ...] = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        """Values of all *processed*-and-ok member events, in order.
+
+        ``processed`` (not ``triggered``) is the right filter: timeouts
+        are pre-triggered at construction, but they have not *happened*
+        until the simulator reaches their scheduled time.
+        """
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev.processed and ev._ok
+        }
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any member event triggers.
+
+    The value is a dict ``{event: value}`` of the events that have
+    triggered successfully so far.  If the first event to trigger
+    *failed*, the condition fails with that exception.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                # Defuse: the failure was consumed by this condition.
+                event._value = event._value
+            return
+        if event._ok:
+            self.succeed(self._collect())
+        else:
+            self.fail(event._value)
+
+
+class AllOf(_Condition):
+    """Triggers once all member events have triggered.
+
+    Fails immediately if any member fails.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield 1.0
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._agenda: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._stopped = False
+
+    # -- clock & introspection ---------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the agenda."""
+        return len(self._agenda)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._agenda[0][0] if self._agenda else float("inf")
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that triggers when all of ``events`` have."""
+        return AllOf(self, events)
+
+    def call_at(
+        self, time: float, fn: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulingInPastError(
+                f"call_at({time!r}) is before now={self._now!r}"
+            )
+        ev = Event(self, name=getattr(fn, "__name__", "call"))
+        ev.callbacks.append(lambda _ev: fn(*args))
+        ev._ok = True
+        ev._value = None
+        self._schedule_event(ev, NORMAL_PRIORITY, delay=time - self._now)
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        return self.call_at(self._now + delay, fn, *args)
+
+    # -- scheduling internals -------------------------------------------------
+
+    def _schedule_event(
+        self, event: Event, priority: int, delay: float = 0.0
+    ) -> None:
+        if delay < 0:
+            raise SchedulingInPastError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._agenda, (self._now + delay, priority, self._seq, event))
+        event._scheduled = True
+
+    # -- the loop ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event on the agenda."""
+        if not self._agenda:
+            raise SimulationError("step() on an empty agenda")
+        self._now, _prio, _seq, event = heapq.heappop(self._agenda)
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not callbacks:
+            # A failed event that nobody observed: surface the error
+            # instead of silently dropping it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the agenda drains), a
+        number (run until that simulation time), or an :class:`Event`
+        (run until it is processed, returning its value).
+        """
+        self._stopped = False
+        until_event: Optional[Event] = None
+        until_time = float("inf")
+        if isinstance(until, Event):
+            until_event = until
+        elif until is not None:
+            until_time = float(until)
+            if until_time < self._now:
+                raise SchedulingInPastError(
+                    f"run(until={until_time!r}) is before now={self._now!r}"
+                )
+
+        while self._agenda and not self._stopped:
+            if until_event is not None and until_event.processed:
+                break
+            if self.peek() > until_time:
+                self._now = until_time
+                break
+            self.step()
+        else:
+            # Agenda drained (or stop()) — advance clock for time runs.
+            if until_event is None and until is not None and not self._stopped:
+                self._now = max(self._now, until_time)
+
+        if until_event is not None:
+            if not until_event.triggered:
+                if self._stopped:
+                    raise SimStopped("simulation stopped before event triggered")
+                raise SimulationError(
+                    f"agenda drained before {until_event!r} triggered"
+                )
+            if not until_event.ok:
+                raise until_event._value
+            return until_event._value
+        return None
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event."""
+        self._stopped = True
+
+
+class Resource:
+    """A capacity-limited resource (counting semaphore).
+
+    ``request()`` returns an event that succeeds when a slot is granted;
+    ``release()`` frees a slot.  FIFO granting keeps runs deterministic.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: list[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of pending requests."""
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        """Free slots right now."""
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Return an event that succeeds once a slot is granted."""
+        ev = self.sim.event(name="resource-grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiters:
+            ev = self._waiters.pop(0)
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a request.
+
+        If the grant is still queued it is simply removed; if it was
+        already granted the slot is released.  Needed when the process
+        that requested a slot is interrupted while waiting — without
+        this, an abandoned granted event would leak its slot.
+        """
+        if grant in self._waiters:
+            self._waiters.remove(grant)
+            return
+        if grant.triggered and grant._ok:
+            self.release()
+
+
+class Store:
+    """An unbounded FIFO store of Python objects.
+
+    ``put(item)`` is immediate; ``get()`` returns an event that succeeds
+    with the oldest item (waiting if the store is empty).  Used for
+    message queues and task inboxes throughout the overlay.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of get() calls blocked on an empty store."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter."""
+        if self._getters:
+            ev = self._getters.pop(0)
+            ev.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the oldest item."""
+        ev = self.sim.event(name=f"store-get({self.name})")
+        if self._items:
+            ev.succeed(self._items.pop(0))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def items_snapshot(self) -> tuple[Any, ...]:
+        """Immutable view of the queued items (for statistics)."""
+        return tuple(self._items)

@@ -1,0 +1,117 @@
+"""Loss and failure models.
+
+The central mechanism behind the paper's Figure 5 (whole-file transfer
+losing badly to 16-part transfer) is *loss amplification*: the overlay
+acknowledges whole transfer units, so when a unit is corrupted or the
+connection stalls, the **entire unit** is retransmitted.  The expected
+number of transmissions of a unit of ``n`` Mb under an independent
+per-Mb success probability ``p`` is ``(1/p)**n`` — exponential in the
+unit size — so a 100 Mb unit is catastrophically more expensive than
+sixteen 6.25 Mb units even though the same bytes cross the wire.
+
+:class:`PerUnitLoss` implements exactly that Bernoulli model.
+:class:`OutageModel` adds scheduled outage windows during which a host
+drops everything (used by failure-injection tests).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+from repro.units import to_mbit
+
+__all__ = ["PerUnitLoss", "NoLoss", "OutageModel"]
+
+
+class NoLoss:
+    """A loss model that never drops anything."""
+
+    def unit_lost(self, size_bits: float, now: float) -> bool:
+        return False
+
+    def success_probability(self, size_bits: float) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class PerUnitLoss:
+    """Independent per-Mb loss applied to whole transfer units.
+
+    ``per_mb_loss`` is the probability that any given megabit of a unit
+    is corrupted; a unit is lost (and must be fully retransmitted) if
+    *any* of its megabits is.  Hence
+
+        P(unit of s Mb survives) = (1 - per_mb_loss) ** s
+    """
+
+    def __init__(self, per_mb_loss: float, rng: np.random.Generator) -> None:
+        if not 0 <= per_mb_loss < 1:
+            raise ValueError(f"per_mb_loss must be in [0, 1), got {per_mb_loss}")
+        self.per_mb_loss = float(per_mb_loss)
+        self._rng = rng
+
+    def success_probability(self, size_bits: float) -> float:
+        """Probability that a unit of ``size_bits`` arrives intact."""
+        return (1.0 - self.per_mb_loss) ** to_mbit(size_bits)
+
+    def unit_lost(self, size_bits: float, now: float) -> bool:
+        """Sample whether a unit of ``size_bits`` is lost in transit."""
+        if self.per_mb_loss == 0.0:
+            return False
+        return bool(self._rng.random() >= self.success_probability(size_bits))
+
+    def expected_transmissions(self, size_bits: float) -> float:
+        """Mean sends needed until one succeeds (geometric mean 1/p)."""
+        p = self.success_probability(size_bits)
+        if p <= 0.0:
+            return float("inf")
+        return 1.0 / p
+
+    def __repr__(self) -> str:
+        return f"PerUnitLoss(per_mb_loss={self.per_mb_loss:g})"
+
+
+class OutageModel:
+    """Deterministic outage windows: ``[(start, end), ...]``.
+
+    During an outage every unit is lost regardless of size.  Windows
+    must be sorted and non-overlapping.
+    """
+
+    def __init__(self, windows: Sequence[tuple[float, float]] = ()) -> None:
+        prev_end = float("-inf")
+        for start, end in windows:
+            if start >= end:
+                raise ValueError(f"empty outage window ({start}, {end})")
+            if start < prev_end:
+                raise ValueError("outage windows must be sorted and disjoint")
+            prev_end = end
+        self.windows = [(float(s), float(e)) for s, e in windows]
+        self._starts = [s for s, _ in self.windows]
+
+    def in_outage(self, now: float) -> bool:
+        """True if ``now`` falls inside any outage window."""
+        i = bisect_right(self._starts, now) - 1
+        return i >= 0 and self.windows[i][0] <= now < self.windows[i][1]
+
+    def next_recovery(self, now: float) -> float:
+        """End of the outage containing ``now`` (or ``now`` if none)."""
+        i = bisect_right(self._starts, now) - 1
+        if i >= 0 and self.windows[i][0] <= now < self.windows[i][1]:
+            return self.windows[i][1]
+        return now
+
+    def unit_lost(self, size_bits: float, now: float) -> bool:
+        return self.in_outage(now)
+
+    def success_probability(self, size_bits: float) -> float:
+        # Time-varying; report the no-outage value for planning.
+        return 1.0
+
+    def __repr__(self) -> str:
+        return f"OutageModel({len(self.windows)} windows)"

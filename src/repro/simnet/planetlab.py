@@ -1,0 +1,369 @@
+"""PlanetLab testbed model: Table 1 catalog and SC1–SC8 calibration.
+
+The paper's slice (Table 1) contains 25 PlanetLab nodes; eight of them
+— SC1..SC8, in seven EU countries — act as SimpleClient peers, and the
+cluster head ``nozomi.lsi.upc.edu`` acts as a Broker.  PlanetLab itself
+is retired, so this module *is* the substitution for the live testbed:
+a calibrated catalog of the same hostnames with per-node latency,
+bandwidth, contention and loss profiles.
+
+Calibration targets
+-------------------
+Figure 2 of the paper reports the petition-reception time per
+SimpleClient.  Our per-node ``overhead_s`` is set so that (overhead +
+one-way base RTT from the broker) matches those published means:
+
+====  ==========================   ============
+peer  hostname                     petition (s)
+====  ==========================   ============
+SC1   ait05.us.es                  12.86
+SC2   planetlab1.hiit.fi            0.04
+SC3   planetlab01.cs.tcd.ie         2.79
+SC4   planetlab1.csg.unizh.ch       0.07
+SC5   edi.tkn.tu-berlin.de          5.19
+SC6   lsirextpc01.epfl.ch           0.35
+SC7   planetlab1.itwm.fhg.de       27.13
+SC8   planetlab1.ssvl.kth.se        0.06
+====  ==========================   ============
+
+Bandwidth/loss profiles are set so the granularity experiment
+(Figure 5) reproduces the paper's shape: sliver-capped access rates
+around 1–2.5 Mbps, a straggler SC7 well below that, and per-Mb loss
+rates in the 1–4.5 % band that make whole-100 Mb units retransmit
+heavily while 6.25 Mb parts rarely do.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.simnet.topology import NodeSpec, Region, Site, Topology
+from repro.units import MEGA
+
+__all__ = [
+    "FIGURE2_PETITION_TARGETS",
+    "SIMPLECLIENTS",
+    "BROKER_HOSTNAME",
+    "TABLE1_HOSTNAMES",
+    "PlanetLabTestbed",
+    "build_testbed",
+]
+
+#: Broker host (head node of the nozomi cluster at UPC, Barcelona).
+BROKER_HOSTNAME = "nozomi.lsi.upc.edu"
+
+#: Published Figure 2 means, seconds, keyed by SimpleClient label.
+FIGURE2_PETITION_TARGETS: Mapping[str, float] = {
+    "SC1": 12.86,
+    "SC2": 0.04,
+    "SC3": 2.79,
+    "SC4": 0.07,
+    "SC5": 5.19,
+    "SC6": 0.35,
+    "SC7": 27.13,
+    "SC8": 0.06,
+}
+
+#: SimpleClient label -> hostname, as listed in the paper (Section 4.1).
+SIMPLECLIENTS: Mapping[str, str] = {
+    "SC1": "ait05.us.es",
+    "SC2": "planetlab1.hiit.fi",
+    "SC3": "planetlab01.cs.tcd.ie",
+    "SC4": "planetlab1.csg.unizh.ch",
+    "SC5": "edi.tkn.tu-berlin.de",
+    "SC6": "lsirextpc01.epfl.ch",
+    "SC7": "planetlab1.itwm.fhg.de",
+    "SC8": "planetlab1.ssvl.kth.se",
+}
+
+#: The full Table 1 slice (25 PlanetLab nodes).
+TABLE1_HOSTNAMES: tuple[str, ...] = (
+    "ait05.us.es",
+    "planet01.hhi.fraunhofer.de",
+    "planet1.cs.huji.ac.il",
+    "planet1.manchester.ac.uk",
+    "system18.ncl-ext.net",
+    "planetlab1.net-research.org.uk",
+    "planetlab01.cs.tcd.ie",
+    "planet2.scs.stanford.edu",
+    "planetlab01.ethz.ch",
+    "planetlab1.ssvl.kth.se",
+    "planetlab1.esi.ucm.es",
+    "planetlab1.csg.unizh.ch",
+    "planetlab1.poly.edu",
+    "planetlab1.cslab.ece.ntua.gr",
+    "planetlab2.ls.fi.upm.es",
+    "planetlab1.eecs.iu-bremen.de",
+    "planetlab2.upc.es",
+    "planetlab1.hiit.fi",
+    "lsirextpc01.epfl.ch",
+    "planetlab5.upc.es",
+    "ricepl1.cs.rice.edu",
+    "planetlab1.itwm.fhg.de",
+    "planet2.seattle.intel-research.net",
+    "planetlab1.informatik.unierlangen.de",
+    "edi.tkn.tu-berlin.de",
+)
+
+# Regions and base one-way RTT structure. European paths in 2007
+# PlanetLab measured 20–60 ms RTT; transatlantic 90–160 ms.
+_REGIONS: Dict[str, Region] = {
+    name: Region(name)
+    for name in (
+        "iberia",
+        "central-eu",
+        "nordic",
+        "british-isles",
+        "greece",
+        "israel",
+        "us-east",
+        "us-west",
+    )
+}
+
+#: site name -> (region, country) for every Table 1 host's domain.
+_SITE_INFO: Mapping[str, tuple[str, str]] = {
+    "us.es": ("iberia", "ES"),
+    "ucm.es": ("iberia", "ES"),
+    "upm.es": ("iberia", "ES"),
+    "upc.es": ("iberia", "ES"),
+    "lsi.upc.edu": ("iberia", "ES"),
+    "hhi.fraunhofer.de": ("central-eu", "DE"),
+    "tu-berlin.de": ("central-eu", "DE"),
+    "itwm.fhg.de": ("central-eu", "DE"),
+    "iu-bremen.de": ("central-eu", "DE"),
+    "unierlangen.de": ("central-eu", "DE"),
+    "ethz.ch": ("central-eu", "CH"),
+    "unizh.ch": ("central-eu", "CH"),
+    "epfl.ch": ("central-eu", "CH"),
+    "hiit.fi": ("nordic", "FI"),
+    "ssvl.kth.se": ("nordic", "SE"),
+    "cs.tcd.ie": ("british-isles", "IE"),
+    "manchester.ac.uk": ("british-isles", "UK"),
+    "ncl-ext.net": ("british-isles", "UK"),
+    "net-research.org.uk": ("british-isles", "UK"),
+    "ece.ntua.gr": ("greece", "GR"),
+    "cs.huji.ac.il": ("israel", "IL"),
+    "poly.edu": ("us-east", "US"),
+    "cs.rice.edu": ("us-east", "US"),
+    "scs.stanford.edu": ("us-west", "US"),
+    "intel-research.net": ("us-west", "US"),
+}
+
+#: Region-pair RTTs in seconds (symmetric); diagonal = intra-region.
+_REGION_RTTS: Mapping[tuple[str, str], float] = {
+    ("iberia", "iberia"): 0.010,
+    ("central-eu", "central-eu"): 0.020,
+    ("nordic", "nordic"): 0.015,
+    ("british-isles", "british-isles"): 0.015,
+    ("greece", "greece"): 0.010,
+    ("israel", "israel"): 0.010,
+    ("us-east", "us-east"): 0.020,
+    ("us-west", "us-west"): 0.020,
+    ("central-eu", "iberia"): 0.030,
+    ("iberia", "nordic"): 0.050,
+    ("british-isles", "iberia"): 0.035,
+    ("greece", "iberia"): 0.055,
+    ("iberia", "israel"): 0.080,
+    ("iberia", "us-east"): 0.110,
+    ("iberia", "us-west"): 0.160,
+    ("central-eu", "nordic"): 0.025,
+    ("british-isles", "central-eu"): 0.025,
+    ("central-eu", "greece"): 0.040,
+    ("central-eu", "israel"): 0.065,
+    ("central-eu", "us-east"): 0.100,
+    ("central-eu", "us-west"): 0.155,
+    ("british-isles", "nordic"): 0.030,
+    ("greece", "nordic"): 0.055,
+    ("israel", "nordic"): 0.075,
+    ("nordic", "us-east"): 0.110,
+    ("nordic", "us-west"): 0.165,
+    ("british-isles", "greece"): 0.050,
+    ("british-isles", "israel"): 0.075,
+    ("british-isles", "us-east"): 0.090,
+    ("british-isles", "us-west"): 0.145,
+    ("greece", "israel"): 0.045,
+    ("greece", "us-east"): 0.125,
+    ("greece", "us-west"): 0.175,
+    ("israel", "us-east"): 0.140,
+    ("israel", "us-west"): 0.190,
+    ("us-east", "us-west"): 0.070,
+}
+
+
+def _site_for(hostname: str) -> Site:
+    """Resolve the longest matching domain suffix to a Site."""
+    parts = hostname.split(".")
+    for start in range(1, len(parts)):
+        suffix = ".".join(parts[start:])
+        info = _SITE_INFO.get(suffix)
+        if info is not None:
+            region, country = info
+            return Site(name=suffix, region=_REGIONS[region], country=country)
+    raise KeyError(f"no site mapping for {hostname!r}")
+
+
+@dataclass(frozen=True)
+class _ClientProfile:
+    """Calibrated behavioural parameters for one SimpleClient."""
+
+    overhead_s: float
+    overhead_cv: float
+    up_mbps: float
+    down_mbps: float
+    load_min: float
+    load_max: float
+    per_mb_loss: float
+    cpu_speed: float
+    spike_prob: float = 0.0
+    spike_factor: float = 1.0
+
+
+# One-way base RTT from the broker (iberia) is subtracted from the
+# Figure 2 target to obtain the node's processing overhead, so that
+# simulated petition time ~= target.  The broker sits in "iberia":
+# one-way iberia->central-eu = 0.015, ->nordic = 0.025,
+# ->british-isles = 0.0175, ->iberia = 0.005.
+_SC_PROFILES: Mapping[str, _ClientProfile] = {
+    # SC1 ait05.us.es (ES) — heavily loaded sliver: huge overhead.
+    "SC1": _ClientProfile(12.855, 0.25, 1.6, 1.6, 0.50, 0.90, 0.020, 0.90),
+    # SC2 planetlab1.hiit.fi (FI) — the most *responsive* sliver
+    # (lowest petition latency) but with a mediocre, lossy access path:
+    # being quick to answer does not make a peer good at bulk transfer,
+    # which is what undoes the user's quick-peer heuristic (Figure 6).
+    "SC2": _ClientProfile(0.015, 0.30, 1.7, 1.7, 0.60, 1.00, 0.030, 1.30),
+    # SC3 planetlab01.cs.tcd.ie (IE) — moderate load.
+    "SC3": _ClientProfile(2.7725, 0.30, 1.8, 1.8, 0.55, 0.95, 0.022, 1.00),
+    # SC4 planetlab1.csg.unizh.ch (CH) — fast.
+    "SC4": _ClientProfile(0.055, 0.30, 2.2, 2.2, 0.60, 1.00, 0.012, 1.20),
+    # SC5 edi.tkn.tu-berlin.de (DE) — loaded.
+    "SC5": _ClientProfile(5.175, 0.30, 1.7, 1.7, 0.50, 0.90, 0.025, 0.95),
+    # SC6 lsirextpc01.epfl.ch (CH) — mildly loaded.
+    "SC6": _ClientProfile(0.335, 0.30, 2.0, 2.0, 0.60, 1.00, 0.015, 1.10),
+    # SC7 planetlab1.itwm.fhg.de (DE) — the straggler: enormous
+    # overhead, starved uplink, elevated loss, descheduling spikes.
+    "SC7": _ClientProfile(
+        27.115, 0.30, 1.00, 1.00, 0.30, 0.60, 0.026, 0.80,
+        spike_prob=0.05, spike_factor=3.0,
+    ),
+    # SC8 planetlab1.ssvl.kth.se (SE) — fast.
+    "SC8": _ClientProfile(0.035, 0.30, 2.3, 2.3, 0.60, 1.00, 0.011, 1.25),
+}
+
+def _generic_profile(hostname: str) -> _ClientProfile:
+    """Heterogeneous sliver profile for a non-SC slice member.
+
+    PlanetLab nodes varied wildly; we derive each node's parameters
+    deterministically from its hostname (stable across runs, no shared
+    RNG state): access rates 0.5-2.5 Mbps, per-Mb loss 1-3.5 %,
+    first-contact overheads from tens of milliseconds up to tens of
+    seconds with a heavy tail - the same spread the SC calibration
+    exhibits.
+    """
+    digest = zlib.crc32(hostname.encode("utf-8"))
+
+    def frac(shift: int) -> float:
+        return ((digest >> shift) & 0xFF) / 255.0
+
+    bw = 0.5 + 2.0 * frac(0)
+    loss = 0.010 + 0.025 * frac(8)
+    # Heavy-tailed overhead: most nodes fast, a quarter slow.
+    u = frac(16)
+    overhead = 0.03 + (0.4 * u if u < 0.75 else 2.0 + 25.0 * (u - 0.75) * 4.0)
+    cpu = 0.7 + 0.8 * frac(24)
+    return _ClientProfile(
+        overhead_s=overhead,
+        overhead_cv=0.35,
+        up_mbps=bw,
+        down_mbps=bw,
+        load_min=0.40,
+        load_max=0.90,
+        per_mb_loss=loss,
+        cpu_speed=cpu,
+    )
+
+#: The broker runs on a dedicated cluster head, not a sliver.
+_BROKER = _ClientProfile(0.004, 0.20, 20.0, 20.0, 0.90, 1.00, 0.001, 2.00)
+
+
+@dataclass
+class PlanetLabTestbed:
+    """The assembled testbed: topology + role maps.
+
+    Attributes
+    ----------
+    topology:
+        A :class:`Topology` containing the broker, the eight
+        SimpleClients and (optionally) the remaining Table 1 nodes.
+    broker_hostname:
+        Hostname acting as Broker.
+    simpleclients:
+        Ordered mapping SC label -> hostname.
+    """
+
+    topology: Topology
+    broker_hostname: str
+    simpleclients: Dict[str, str]
+
+    def sc_hostname(self, label: str) -> str:
+        """Hostname for an SC label (e.g. ``'SC7'``)."""
+        try:
+            return self.simpleclients[label]
+        except KeyError:
+            raise KeyError(f"unknown SimpleClient label {label!r}") from None
+
+    def sc_labels(self) -> tuple[str, ...]:
+        """SC labels in numeric order."""
+        return tuple(self.simpleclients)
+
+
+def _spec_from_profile(hostname: str, profile: _ClientProfile) -> NodeSpec:
+    return NodeSpec(
+        hostname=hostname,
+        site=_site_for(hostname),
+        cpu_speed=profile.cpu_speed,
+        cores=1,
+        up_bps=profile.up_mbps * MEGA,
+        down_bps=profile.down_mbps * MEGA,
+        overhead_s=profile.overhead_s,
+        overhead_cv=profile.overhead_cv,
+        spike_prob=profile.spike_prob,
+        spike_factor=profile.spike_factor,
+        load_min_share=profile.load_min,
+        load_max_share=profile.load_max,
+        per_mb_loss=profile.per_mb_loss,
+    )
+
+
+def build_testbed(include_full_slice: bool = False) -> PlanetLabTestbed:
+    """Build the calibrated PlanetLab testbed.
+
+    ``include_full_slice=False`` (default, matching the paper's
+    evaluation) yields the broker + SC1..SC8; ``True`` adds the
+    remaining Table 1 nodes with a generic sliver profile.
+    """
+    topo = Topology()
+    for (a, b), rtt in _REGION_RTTS.items():
+        topo.set_region_rtt(a, b, rtt)
+
+    topo.add_node(_spec_from_profile(BROKER_HOSTNAME, _BROKER))
+    sc_map: Dict[str, str] = {}
+    for label in sorted(SIMPLECLIENTS):
+        hostname = SIMPLECLIENTS[label]
+        topo.add_node(_spec_from_profile(hostname, _SC_PROFILES[label]))
+        sc_map[label] = hostname
+
+    if include_full_slice:
+        present = set(topo.hostnames())
+        for hostname in TABLE1_HOSTNAMES:
+            if hostname not in present:
+                topo.add_node(
+                    _spec_from_profile(hostname, _generic_profile(hostname))
+                )
+
+    topo.validate()
+    return PlanetLabTestbed(
+        topology=topo, broker_hostname=BROKER_HOSTNAME, simpleclients=sc_map
+    )

@@ -1,0 +1,131 @@
+"""Graph-based inter-site routing.
+
+The default topology prices inter-node latency with a region-pair RTT
+table (adequate for the paper's star-shaped experiments).  For richer
+studies — link failures, multi-hop paths, backbone congestion — this
+module provides :class:`SiteGraph`: an undirected weighted graph of
+*sites* whose shortest-path latencies (Dijkstra, via :mod:`networkx`)
+replace the table when attached to a topology with
+:meth:`repro.simnet.topology.Topology.set_router`.
+
+Latency weights are one-way seconds per link; the router returns
+round-trip times (2x the shortest one-way path) to match the
+``region_rtt`` convention.  Paths are cached and the cache invalidates
+on any mutation (adding links, failing/restoring links).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import NoRouteError
+
+__all__ = ["SiteGraph"]
+
+
+class SiteGraph:
+    """An undirected, weighted site-level routing graph."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._cache: Dict[Tuple[str, str], float] = {}
+        self._down: set[Tuple[str, str]] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add_site(self, name: str) -> None:
+        """Add a site (idempotent)."""
+        if not name:
+            raise ValueError("site name must be non-empty")
+        self._graph.add_node(name)
+
+    def add_link(self, a: str, b: str, one_way_s: float) -> None:
+        """Add (or re-weight) a bidirectional link between two sites."""
+        if a == b:
+            raise ValueError("no self-links")
+        if one_way_s <= 0:
+            raise ValueError(f"link latency must be > 0, got {one_way_s}")
+        self._graph.add_edge(a, b, weight=float(one_way_s))
+        self._cache.clear()
+
+    def add_links(self, links: Iterable[Tuple[str, str, float]]) -> None:
+        """Bulk :meth:`add_link`."""
+        for a, b, w in links:
+            self.add_link(a, b, w)
+
+    # -- failure injection -----------------------------------------------------
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take a link down (it stays in the graph definition)."""
+        if not self._graph.has_edge(a, b):
+            raise NoRouteError(f"no link {a!r}-{b!r} to fail")
+        self._down.add(self._key(a, b))
+        self._cache.clear()
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a failed link back."""
+        self._down.discard(self._key(a, b))
+        self._cache.clear()
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        """True when the link exists and is not failed."""
+        return self._graph.has_edge(a, b) and self._key(a, b) not in self._down
+
+    def _live_graph(self) -> nx.Graph:
+        if not self._down:
+            return self._graph
+        g = self._graph.copy()
+        g.remove_edges_from(self._down)
+        return g
+
+    # -- queries -----------------------------------------------------------------
+
+    def sites(self) -> Tuple[str, ...]:
+        """All site names (sorted)."""
+        return tuple(sorted(self._graph.nodes))
+
+    def one_way_latency(self, src: str, dst: str) -> float:
+        """Shortest-path one-way latency between two sites (seconds)."""
+        if src == dst:
+            return 0.0
+        key = self._key(src, dst)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        for site in (src, dst):
+            if site not in self._graph:
+                raise NoRouteError(f"unknown site {site!r}")
+        try:
+            latency = float(
+                nx.shortest_path_length(
+                    self._live_graph(), src, dst, weight="weight"
+                )
+            )
+        except nx.NetworkXNoPath:
+            raise NoRouteError(f"no live path between {src!r} and {dst!r}") from None
+        self._cache[key] = latency
+        return latency
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip time between two sites (2x one-way)."""
+        return 2.0 * self.one_way_latency(src, dst)
+
+    def path(self, src: str, dst: str) -> Tuple[str, ...]:
+        """The site sequence of the current shortest path."""
+        if src == dst:
+            return (src,)
+        try:
+            return tuple(
+                nx.shortest_path(self._live_graph(), src, dst, weight="weight")
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise NoRouteError(f"no live path between {src!r} and {dst!r}") from None
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()

@@ -1,0 +1,561 @@
+"""Live network layer: hosts, datagrams and flow-level bulk transfers.
+
+This module turns a static :class:`~repro.simnet.topology.Topology`
+into running endpoints on a simulator:
+
+* :class:`Network` — binds simulator + topology + random streams and
+  owns the shared :class:`FlowScheduler`.
+* :class:`Host` — one endpoint: control-message delivery (latency +
+  per-node overhead + loss), bulk flows with fair bandwidth sharing,
+  retransmitting reliable transfers, a CPU model for task execution,
+  and crash/recover failure injection.
+* :class:`FlowScheduler` — progress-based flow simulation: at every
+  flow arrival/departure (and on a periodic tick, so that time-varying
+  sliver contention is honoured) it advances each active flow by its
+  current rate and recomputes rates as the min of equal shares at the
+  sending and receiving access links.
+
+Design notes
+------------
+Control messages model the overlay's small XML messages.  Their delay is
+
+    one_way_path + receiver_overhead_sample
+
+where the receiver overhead is the dominant, heavy-tailed term (this is
+what Figure 2 of the paper measures, with petition-reception times from
+0.04 s to 27 s on different PlanetLab slivers).
+
+Bulk transfers are *units* in the sense of :mod:`repro.simnet.loss`:
+loss is evaluated per unit on completion, and
+:meth:`Host.reliable_transfer` retries whole units, charging a
+detection timeout per failed attempt.  This is the loss-amplification
+mechanism that reproduces Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import (
+    HostDownError,
+    SimulationError,
+    TransferAborted,
+)
+from repro.simnet.bandwidth import ContendedBandwidth, DiurnalBandwidth
+from repro.simnet.kernel import Event, Resource, Simulator, Store
+from repro.simnet.latency import LognormalLatency, SpikyLatency
+from repro.simnet.loss import NoLoss, PerUnitLoss
+from repro.simnet.rng import RandomStreams
+from repro.simnet.topology import NodeSpec, Topology
+from repro.simnet.trace import Tracer
+
+__all__ = [
+    "Network",
+    "Host",
+    "Datagram",
+    "Flow",
+    "FlowScheduler",
+    "TransferReport",
+]
+
+#: Progress below this many bits counts as "flow finished".
+_EPSILON_BITS = 1e-6
+
+#: Default size of a control message (bits) — a small XML document.
+CONTROL_MESSAGE_BITS = 8.0 * 2048
+
+
+@dataclass
+class Datagram:
+    """A control message in flight (or delivered)."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bits: float = CONTROL_MESSAGE_BITS
+    sent_at: float = 0.0
+    delivered_at: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """Delivery latency, once delivered."""
+        if self.delivered_at is None:
+            raise SimulationError("datagram not delivered yet")
+        return self.delivered_at - self.sent_at
+
+
+@dataclass
+class TransferReport:
+    """Outcome of a reliable bulk transfer."""
+
+    src: str
+    dst: str
+    size_bits: float
+    started_at: float
+    finished_at: float
+    attempts: int
+    wasted_bits: float
+
+    @property
+    def duration(self) -> float:
+        """End-to-end seconds including retransmissions and timeouts."""
+        return self.finished_at - self.started_at
+
+    @property
+    def goodput_bps(self) -> float:
+        """Useful bits per second over the whole transfer."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.size_bits / self.duration
+
+
+class Flow:
+    """One active bulk flow inside the :class:`FlowScheduler`."""
+
+    __slots__ = ("src", "dst", "remaining", "rate", "last_update", "done", "size_bits")
+
+    def __init__(self, src: "Host", dst: "Host", size_bits: float, done: Event) -> None:
+        self.src = src
+        self.dst = dst
+        self.size_bits = float(size_bits)
+        self.remaining = float(size_bits)
+        self.rate = 0.0
+        self.last_update = 0.0
+        self.done = done
+
+
+class FlowScheduler:
+    """Progress-based fair-share scheduler for all bulk flows.
+
+    Rates: each flow gets ``min(up_cap(src)/n_up(src),
+    down_cap(dst)/n_down(dst))`` where the capacities are sampled from
+    the hosts' time-varying bandwidth models.  Rates are recomputed at
+    every flow arrival/departure and every ``tick`` seconds while flows
+    are active, so long transfers feel contention changes.
+    """
+
+    def __init__(self, sim: Simulator, tick: float = 10.0) -> None:
+        if tick <= 0:
+            raise ValueError(f"tick must be > 0, got {tick}")
+        self.sim = sim
+        self.tick = float(tick)
+        self._flows: list[Flow] = []
+        self._timer_gen = 0
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently in progress."""
+        return len(self._flows)
+
+    def start_flow(self, src: "Host", dst: "Host", size_bits: float) -> Event:
+        """Begin a bulk flow; the returned event fires on completion."""
+        if size_bits <= 0:
+            raise ValueError(f"flow size must be > 0, got {size_bits}")
+        done = self.sim.event(name=f"flow {src.hostname}->{dst.hostname}")
+        flow = Flow(src, dst, size_bits, done)
+        flow.last_update = self.sim.now
+        self._flows.append(flow)
+        src._up_flows += 1
+        dst._down_flows += 1
+        self._reconcile()
+        return done
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance_progress(self, now: float) -> None:
+        for f in self._flows:
+            f.remaining -= f.rate * (now - f.last_update)
+            f.last_update = now
+
+    def _recompute_rates(self, now: float) -> None:
+        for f in self._flows:
+            up_share = f.src.up_capacity_at(now) / max(1, f.src._up_flows)
+            down_share = f.dst.down_capacity_at(now) / max(1, f.dst._down_flows)
+            f.rate = min(up_share, down_share)
+
+    def _reconcile(self) -> None:
+        now = self.sim.now
+        self._advance_progress(now)
+
+        finished = [f for f in self._flows if f.remaining <= _EPSILON_BITS]
+        if finished:
+            self._flows = [f for f in self._flows if f.remaining > _EPSILON_BITS]
+            for f in finished:
+                f.src._up_flows -= 1
+                f.dst._down_flows -= 1
+            # Departures change shares for the survivors.
+        self._recompute_rates(now)
+
+        for f in finished:
+            f.done.succeed(f)
+
+        self._schedule_timer()
+
+    def _schedule_timer(self) -> None:
+        self._timer_gen += 1
+        if not self._flows:
+            return
+        gen = self._timer_gen
+        horizon = min(f.remaining / f.rate for f in self._flows if f.rate > 0)
+        delay = min(horizon, self.tick)
+        # Guard against zero-delay livelock from float dust.
+        delay = max(delay, 1e-9)
+        self.sim.call_in(delay, self._on_timer, gen)
+
+    def _on_timer(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # superseded by a later reconcile
+        self._reconcile()
+
+
+class Host:
+    """A live network endpoint bound to one topology node.
+
+    Created via :meth:`Network.host`; do not instantiate directly.
+    """
+
+    def __init__(self, network: "Network", spec: NodeSpec) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.spec = spec
+        self.hostname = spec.hostname
+        streams = network.streams
+
+        up = ContendedBandwidth(
+            spec.up_bps,
+            streams.get(f"bw-up/{spec.hostname}"),
+            min_share=spec.load_min_share,
+            max_share=spec.load_max_share,
+        )
+        down = ContendedBandwidth(
+            spec.down_bps,
+            streams.get(f"bw-down/{spec.hostname}"),
+            min_share=spec.load_min_share,
+            max_share=spec.load_max_share,
+        )
+        if spec.diurnal_depth > 0:
+            up = DiurnalBandwidth(
+                up, depth=spec.diurnal_depth,
+                peak_offset=spec.diurnal_peak_offset_s,
+            )
+            down = DiurnalBandwidth(
+                down, depth=spec.diurnal_depth,
+                peak_offset=spec.diurnal_peak_offset_s,
+            )
+        self._up = up
+        self._down = down
+        base = LognormalLatency(
+            max(spec.overhead_s, 1e-6),
+            spec.overhead_cv,
+            streams.get(f"overhead/{spec.hostname}"),
+        )
+        if spec.spike_prob > 0:
+            self._overhead = SpikyLatency(
+                base,
+                spec.spike_prob,
+                spec.spike_factor,
+                streams.get(f"spikes/{spec.hostname}"),
+            )
+        else:
+            self._overhead = base
+        # Handling for messages on an already-bound pipe: small,
+        # node-independent-scale lognormal (see NodeSpec).
+        self._light_overhead = LognormalLatency(
+            max(spec.bound_handling_s, 1e-6),
+            0.3,
+            streams.get(f"light/{spec.hostname}"),
+        )
+        if spec.per_mb_loss > 0:
+            self._loss = PerUnitLoss(
+                spec.per_mb_loss, streams.get(f"loss/{spec.hostname}")
+            )
+        else:
+            self._loss = NoLoss()
+        self._cpu_share_rng = streams.get(f"cpu/{spec.hostname}")
+
+        self.inbox: Store = Store(self.sim, name=f"inbox@{spec.hostname}")
+        self._handlers: Dict[type, Callable[[Datagram], None]] = {}
+        self.cpu = Resource(self.sim, capacity=spec.cores)
+        self._up_flows = 0
+        self._down_flows = 0
+        self._is_up = True
+
+        #: Running delivery/transfer counters (exposed for diagnostics).
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.messages_lost = 0
+        self.bits_sent = 0.0
+        self.bits_received = 0.0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """False while crashed."""
+        return self._is_up
+
+    def crash(self) -> None:
+        """Take the host down: all inbound messages are dropped."""
+        self._is_up = False
+
+    def recover(self) -> None:
+        """Bring the host back up."""
+        self._is_up = True
+
+    def schedule_outage(self, start: float, end: float) -> None:
+        """Crash at ``start`` and recover at ``end`` (absolute times).
+
+        Failure-injection helper: composes with any protocol running
+        over the host.  Both times must lie in the future.
+        """
+        if not self.sim.now <= start < end:
+            raise ValueError(
+                f"need now <= start < end, got ({start}, {end}) at "
+                f"t={self.sim.now}"
+            )
+        self.sim.call_at(start, self.crash)
+        self.sim.call_at(end, self.recover)
+
+    def up_capacity_at(self, now: float) -> float:
+        """Instantaneous uplink capacity (bits/s)."""
+        return self._up.rate_at(now)
+
+    def down_capacity_at(self, now: float) -> float:
+        """Instantaneous downlink capacity (bits/s)."""
+        return self._down.rate_at(now)
+
+    def planned_up_bps(self) -> float:
+        """Mean uplink rate — used by planning/ready-time estimators."""
+        return self._up.mean_rate()
+
+    def planned_down_bps(self) -> float:
+        """Mean downlink rate — used by planning/ready-time estimators."""
+        return self._down.mean_rate()
+
+    def overhead_mean(self) -> float:
+        """Mean per-message processing overhead (planning)."""
+        return self._overhead.mean
+
+    # -- control messages -----------------------------------------------------
+
+    def on_message(self, payload_type: type, handler: Callable[[Datagram], None]) -> None:
+        """Register a handler for datagrams whose payload has this type.
+
+        Unhandled payload types land in :attr:`inbox`.
+        """
+        self._handlers[payload_type] = handler
+
+    def send(
+        self,
+        dst: "Host",
+        payload: Any,
+        size_bits: float = CONTROL_MESSAGE_BITS,
+        light: bool = False,
+    ) -> Datagram:
+        """Fire-and-forget a control message to ``dst``.
+
+        Returns the in-flight :class:`Datagram`.  Delivery happens after
+        path latency plus a receiver-overhead sample; the message may be
+        lost (per-unit loss or receiver down), in which case it is
+        simply never delivered — reliability is the protocol's job.
+
+        ``light=True`` sends over an already-bound pipe: the receiver
+        charges its small ``bound_handling_s`` instead of the heavy
+        first-contact overhead (pipe resolution).  The file-transfer
+        petition is the canonical *heavy* message (Figure 2 measures
+        its reception time); per-part confirms are *light*.
+        """
+        if not self._is_up:
+            raise HostDownError(f"{self.hostname} is down")
+        now = self.sim.now
+        dgram = Datagram(
+            src=self.hostname,
+            dst=dst.hostname,
+            payload=payload,
+            size_bits=size_bits,
+            sent_at=now,
+        )
+        self.messages_sent += 1
+        path = self.network.topology.path(self.hostname, dst.hostname)
+        handling = dst._light_overhead if light else dst._overhead
+        delay = path.base_one_way_s + handling.sample(now)
+        lost = self._loss.unit_lost(size_bits, now) or dst._loss.unit_lost(
+            size_bits, now
+        )
+        self.network.tracer.record(
+            "msg-send", now, src=self.hostname, dst=dst.hostname,
+            payload_kind=type(payload).__name__, lost=lost,
+        )
+        if lost:
+            self.messages_lost += 1
+            return dgram
+        self.sim.call_in(delay, dst._deliver, dgram)
+        return dgram
+
+    def _deliver(self, dgram: Datagram) -> None:
+        if not self._is_up:
+            self.network.tracer.record(
+                "msg-drop-down", self.sim.now, dst=self.hostname
+            )
+            return
+        dgram.delivered_at = self.sim.now
+        self.messages_received += 1
+        self.network.tracer.record(
+            "msg-recv", self.sim.now, src=dgram.src, dst=dgram.dst,
+            payload_kind=type(dgram.payload).__name__, latency=dgram.latency,
+        )
+        handler = self._handlers.get(type(dgram.payload))
+        if handler is not None:
+            handler(dgram)
+        else:
+            self.inbox.put(dgram)
+
+    # -- bulk transfers ---------------------------------------------------------
+
+    def start_flow(self, dst: "Host", size_bits: float) -> Event:
+        """Low-level: start a raw bulk flow (no loss, no retries).
+
+        A *down destination* does not raise: the sender cannot know the
+        receiver died, so the bits stream into the void and the unit
+        counts as lost (``reliable_transfer`` then times out and
+        retries) — exactly the failure a live network shows.
+        """
+        if not self._is_up:
+            raise HostDownError(f"{self.hostname} is down")
+        return self.network.flows.start_flow(self, dst, size_bits)
+
+    def reliable_transfer(
+        self,
+        dst: "Host",
+        size_bits: float,
+        max_attempts: int = 50,
+        loss_timeout_factor: float = 1.0,
+    ):
+        """Generator process: move ``size_bits`` to ``dst`` reliably.
+
+        Each attempt streams the whole unit; on (unit-level) loss the
+        sender detects the failure only after a stall timeout
+        proportional to the attempt's duration (``loss_timeout_factor``
+        defaults to 1.0 — the retransmission timer scales with how long
+        the unit took to stream), then retries.  Returns a
+        :class:`TransferReport`; raises :class:`TransferAborted` after
+        ``max_attempts`` failures.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        started = self.sim.now
+        wasted = 0.0
+        for attempt in range(1, max_attempts + 1):
+            attempt_started = self.sim.now
+            flow_done = self.start_flow(dst, size_bits)
+            yield flow_done
+            now = self.sim.now
+            self.bits_sent += size_bits
+            lost = self._loss.unit_lost(size_bits, now) or dst._loss.unit_lost(
+                size_bits, now
+            )
+            if not lost and dst._is_up:
+                dst.bits_received += size_bits
+                report = TransferReport(
+                    src=self.hostname,
+                    dst=dst.hostname,
+                    size_bits=size_bits,
+                    started_at=started,
+                    finished_at=now,
+                    attempts=attempt,
+                    wasted_bits=wasted,
+                )
+                self.network.tracer.record(
+                    "transfer-done", now, src=self.hostname, dst=dst.hostname,
+                    size_bits=size_bits, attempts=attempt,
+                    duration=report.duration,
+                )
+                return report
+            wasted += size_bits
+            attempt_duration = now - attempt_started
+            detection = max(loss_timeout_factor * attempt_duration, 0.05)
+            self.network.tracer.record(
+                "transfer-retry", now, src=self.hostname, dst=dst.hostname,
+                size_bits=size_bits, attempt=attempt,
+            )
+            yield detection
+        raise TransferAborted(
+            f"{self.hostname}->{dst.hostname}: {max_attempts} attempts failed"
+        )
+
+    # -- computation -------------------------------------------------------------
+
+    def compute(self, ops: float):
+        """Generator process: execute ``ops`` normalized operations.
+
+        Acquires a CPU slot (FIFO among concurrent tasks), then runs
+        for ``ops / (cpu_speed * share)`` seconds where ``share`` is a
+        fresh draw of the sliver's available CPU fraction.  Returns the
+        busy time (excluding queueing).
+        """
+        if ops < 0:
+            raise ValueError(f"ops must be >= 0, got {ops}")
+        grant = self.cpu.request()
+        try:
+            yield grant
+        except BaseException:
+            # Interrupted while queued (or just as the slot arrived):
+            # hand the slot back so it cannot leak.
+            self.cpu.cancel(grant)
+            raise
+        try:
+            share = float(
+                self._cpu_share_rng.uniform(
+                    self.spec.load_min_share, self.spec.load_max_share
+                )
+            )
+            duration = ops / (self.spec.cpu_speed * share)
+            yield duration
+            return duration
+        finally:
+            self.cpu.release()
+
+    def planned_compute_seconds(self, ops: float) -> float:
+        """Planning estimate of :meth:`compute` (mean share)."""
+        mean_share = 0.5 * (self.spec.load_min_share + self.spec.load_max_share)
+        return ops / (self.spec.cpu_speed * mean_share)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.hostname} {'up' if self._is_up else 'DOWN'}>"
+
+
+class Network:
+    """Binds a simulator, a topology and random streams into live hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        streams: Optional[RandomStreams] = None,
+        tracer: Optional[Tracer] = None,
+        flow_tick: float = 10.0,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.streams = streams if streams is not None else RandomStreams(seed=0)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.flows = FlowScheduler(sim, tick=flow_tick)
+        self._hosts: Dict[str, Host] = {}
+
+    def host(self, hostname: str) -> Host:
+        """Return (creating on first use) the live host for ``hostname``."""
+        h = self._hosts.get(hostname)
+        if h is None:
+            spec = self.topology.node(hostname)
+            h = Host(self, spec)
+            self._hosts[hostname] = h
+        return h
+
+    def hosts(self) -> tuple[Host, ...]:
+        """All instantiated hosts, in creation order."""
+        return tuple(self._hosts.values())
+
+    def boot_all(self) -> tuple[Host, ...]:
+        """Instantiate a host for every topology node."""
+        return tuple(self.host(name) for name in self.topology.hostnames())

@@ -1,0 +1,40 @@
+"""Synthetic application workloads (files, tasks, generators)."""
+
+from repro.workloads.files import (
+    FilePart,
+    FileSpec,
+    reassemble_size,
+    split_fixed_size,
+    split_into_parts,
+)
+from repro.workloads.generator import Job, WorkloadGenerator
+from repro.workloads.traces import (
+    ReplayOutcome,
+    ReplayReport,
+    load_jobs,
+    replay,
+    save_jobs,
+)
+from repro.workloads.tasks import (
+    VIRTUAL_CAMPUS_TASKS,
+    ProcessingTask,
+    campus_task,
+)
+
+__all__ = [
+    "FileSpec",
+    "FilePart",
+    "split_into_parts",
+    "split_fixed_size",
+    "reassemble_size",
+    "ProcessingTask",
+    "VIRTUAL_CAMPUS_TASKS",
+    "campus_task",
+    "Job",
+    "WorkloadGenerator",
+    "save_jobs",
+    "load_jobs",
+    "replay",
+    "ReplayReport",
+    "ReplayOutcome",
+]

@@ -1,0 +1,106 @@
+"""Workload generators.
+
+Produces streams of transfer/task jobs for the experiment harness and
+the load/ablation benchmarks: Poisson arrivals, bounded batches, and
+mixed file-size distributions echoing the paper's sizes (tens to
+hundreds of Mb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.units import mbit
+from repro.workloads.files import FileSpec
+from repro.workloads.tasks import ProcessingTask
+
+__all__ = ["Job", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of offered load."""
+
+    arrival_s: float
+    kind: str  # "transfer" | "task"
+    file: Optional[FileSpec] = None
+    task: Optional[ProcessingTask] = None
+    n_parts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("transfer", "task"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "transfer" and self.file is None:
+            raise ValueError("transfer job needs a file")
+        if self.kind == "task" and self.task is None:
+            raise ValueError("task job needs a task")
+        if self.arrival_s < 0:
+            raise ValueError("arrival must be >= 0")
+        if self.n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+
+
+class WorkloadGenerator:
+    """Deterministic job-stream factory over a random stream."""
+
+    #: File sizes (Mb) echoing the paper's experiments.
+    DEFAULT_SIZES_MB: Sequence[float] = (25.0, 50.0, 100.0, 200.0)
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        sizes_mb: Optional[Sequence[float]] = None,
+        n_parts_choices: Sequence[int] = (1, 4, 16),
+        task_share: float = 0.0,
+        ops_per_mbit: float = 3.0,
+    ) -> None:
+        if not 0 <= task_share <= 1:
+            raise ValueError("task_share must be in [0, 1]")
+        sizes = tuple(sizes_mb if sizes_mb is not None else self.DEFAULT_SIZES_MB)
+        if not sizes or any(s <= 0 for s in sizes):
+            raise ValueError("sizes must be positive and non-empty")
+        if not n_parts_choices or any(p < 1 for p in n_parts_choices):
+            raise ValueError("n_parts choices must be >= 1")
+        self._rng = rng
+        self.sizes_mb = sizes
+        self.n_parts_choices = tuple(n_parts_choices)
+        self.task_share = task_share
+        self.ops_per_mbit = ops_per_mbit
+        self._counter = 0
+
+    def _one(self, arrival: float) -> Job:
+        self._counter += 1
+        size_mb = float(self._rng.choice(self.sizes_mb))
+        n_parts = int(self._rng.choice(self.n_parts_choices))
+        file = FileSpec(name=f"file-{self._counter}", size_bits=mbit(size_mb))
+        if self.task_share and float(self._rng.random()) < self.task_share:
+            task = ProcessingTask(
+                name=f"task-{self._counter}",
+                input_file=file,
+                ops_per_mbit=self.ops_per_mbit,
+            )
+            return Job(arrival_s=arrival, kind="task", task=task, n_parts=n_parts)
+        return Job(arrival_s=arrival, kind="transfer", file=file, n_parts=n_parts)
+
+    def batch(self, n_jobs: int, start_s: float = 0.0) -> List[Job]:
+        """``n_jobs`` simultaneous jobs at ``start_s``."""
+        if n_jobs < 0:
+            raise ValueError("n_jobs must be >= 0")
+        return [self._one(start_s) for _ in range(n_jobs)]
+
+    def poisson(
+        self, rate_per_s: float, horizon_s: float, start_s: float = 0.0
+    ) -> Iterator[Job]:
+        """Poisson arrivals at ``rate_per_s`` until ``start_s + horizon_s``."""
+        if rate_per_s <= 0 or horizon_s <= 0:
+            raise ValueError("rate and horizon must be > 0")
+        t = start_s
+        end = start_s + horizon_s
+        while True:
+            t += float(self._rng.exponential(1.0 / rate_per_s))
+            if t >= end:
+                return
+            yield self._one(t)

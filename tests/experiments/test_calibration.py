@@ -1,0 +1,82 @@
+"""Tests for the calibration module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationCheck,
+    calibration_report,
+    fit_overhead,
+    verify_profile_fit,
+)
+from repro.simnet.planetlab import FIGURE2_PETITION_TARGETS
+
+
+class TestFitOverhead:
+    def test_inverts_the_decomposition(self):
+        overhead = fit_overhead(12.86, 0.005)
+        assert overhead == pytest.approx(12.855)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            fit_overhead(0.01, 0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_overhead(0.0, 0.0)
+        with pytest.raises(ValueError):
+            fit_overhead(1.0, -0.1)
+
+
+class TestVerifyProfileFit:
+    def test_shipped_profiles_agree_with_targets(self):
+        predicted = verify_profile_fit()
+        assert set(predicted) == set(FIGURE2_PETITION_TARGETS)
+
+    def test_detects_a_broken_profile(self):
+        from repro.simnet.planetlab import build_testbed
+        from dataclasses import replace
+
+        tb = build_testbed()
+        host = tb.sc_hostname("SC4")
+        spec = tb.topology.nodes[host]
+        tb.topology.nodes[host] = replace(spec, overhead_s=5.0)  # sabotage
+        with pytest.raises(ValueError, match="SC4"):
+            verify_profile_fit(tb)
+
+
+class TestCalibrationReport:
+    def test_pass_and_fail_classification(self):
+        measured = dict(FIGURE2_PETITION_TARGETS)
+        measured["SC7"] = measured["SC7"] * 2.0  # way off
+        report = calibration_report(measured)
+        assert report["SC1"].ok
+        assert not report["SC7"].ok
+
+    def test_absolute_floor_for_fast_peers(self):
+        measured = dict(FIGURE2_PETITION_TARGETS)
+        measured["SC2"] = 0.08  # 2x relative, but only 0.04 s absolute
+        report = calibration_report(measured)
+        assert report["SC2"].ok
+
+    def test_missing_peer_rejected(self):
+        measured = dict(FIGURE2_PETITION_TARGETS)
+        del measured["SC5"]
+        with pytest.raises(ValueError, match="SC5"):
+            calibration_report(measured)
+
+    def test_deviation_property(self):
+        check = CalibrationCheck(
+            label="X", target_s=1.0, measured_s=1.2, tolerance_s=0.25
+        )
+        assert check.deviation_s == pytest.approx(0.2)
+        assert check.ok
+
+    def test_measured_experiment_passes(self):
+        from repro.experiments import ExperimentConfig, fig2_petition
+
+        result = fig2_petition.run(ExperimentConfig(repetitions=5))
+        measured = {l: s.mean for l, s in result.summaries.items()}
+        report = calibration_report(measured)
+        assert all(check.ok for check in report.values())

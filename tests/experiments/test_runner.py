@@ -1,0 +1,51 @@
+"""Tests for the repetition runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import average_rows, run_repetitions
+from repro.experiments.scenario import ExperimentConfig
+
+
+class TestRunRepetitions:
+    def test_runs_once_per_repetition(self):
+        cfg = ExperimentConfig(repetitions=3)
+
+        def scenario(session):
+            yield 0.0
+            return session.config.seed
+
+        results = run_repetitions(cfg, scenario)
+        assert len(results) == 3
+        assert len(set(results)) == 3  # distinct derived seeds
+
+    def test_repetitions_statistically_independent(self):
+        cfg = ExperimentConfig(repetitions=2)
+
+        def scenario(session):
+            outcome = yield session.sim.process(
+                session.broker.transfers.send_file(
+                    session.client("SC4").advertisement(), "f", 1e6
+                )
+            )
+            return outcome.petition_time
+
+        a, b = run_repetitions(cfg, scenario)
+        assert a != b  # different jitter draws per repetition
+
+
+class TestAverageRows:
+    def test_per_key_summaries(self):
+        rows = [{"x": 1.0, "y": 4.0}, {"x": 3.0, "y": 6.0}]
+        out = average_rows(rows)
+        assert out["x"].mean == pytest.approx(2.0)
+        assert out["y"].mean == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_rows([])
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            average_rows([{"x": 1.0}, {"y": 2.0}])

@@ -1,0 +1,43 @@
+"""Tests for the future-work scale experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, scale
+from repro.simnet.planetlab import BROKER_HOSTNAME, SIMPLECLIENTS
+
+
+class TestPoolConstruction:
+    def test_pool_prefers_scs_first(self):
+        pool8 = scale._pool_hostnames(8)
+        assert set(pool8) == set(SIMPLECLIENTS.values())
+
+    def test_pool_grows_monotonically(self):
+        p8, p16, p24 = (scale._pool_hostnames(n) for n in (8, 16, 24))
+        assert set(p8) < set(p16) < set(p24)
+
+    def test_broker_never_a_candidate(self):
+        assert BROKER_HOSTNAME not in scale._pool_hostnames(24)
+
+    def test_full_pool_is_24(self):
+        assert len(scale._pool_hostnames(24)) == 24
+
+
+class TestScaleRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scale.run(ExperimentConfig(seed=2007, repetitions=2))
+
+    def test_all_cells_present(self, result):
+        for model in scale.MODELS:
+            for pool in scale.POOL_SIZES:
+                assert result.cost(model, pool) > 0
+
+    def test_economic_beats_blind(self, result):
+        for pool in scale.POOL_SIZES:
+            assert result.cost("economic", pool) < result.cost("blind", pool)
+
+    def test_table_renders(self, result):
+        out = result.table()
+        assert "24 peers" in out and "blind/economic" in out

@@ -1,0 +1,103 @@
+"""Tests for experiment scenario wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.scenario import ExperimentConfig, Session
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.repetitions == 5  # the paper repeats 5 times
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(repetitions=0)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(flow_tick=0.0)
+
+    def test_for_repetition_derives_seed(self):
+        cfg = ExperimentConfig(seed=5, repetitions=3)
+        seeds = {cfg.for_repetition(i).seed for i in range(3)}
+        assert len(seeds) == 3
+        assert all(c != 5 for c in seeds)
+
+    def test_for_repetition_range_checked(self):
+        cfg = ExperimentConfig(repetitions=2)
+        with pytest.raises(ConfigError):
+            cfg.for_repetition(2)
+
+
+class TestSession:
+    def test_wires_broker_and_eight_clients(self):
+        session = Session(ExperimentConfig())
+        assert session.broker.host.hostname == "nozomi.lsi.upc.edu"
+        assert len(session.clients) == 8
+        assert session.sc_labels() == tuple(f"SC{i}" for i in range(1, 9))
+
+    def test_run_connects_everyone(self):
+        session = Session(ExperimentConfig())
+
+        def scenario(s):
+            yield 0.0
+            return len(s.candidates())
+
+        n = session.run(scenario)
+        assert n == 8
+        assert all(c.online for c in session.clients.values())
+
+    def test_run_returns_scenario_value(self):
+        session = Session(ExperimentConfig())
+
+        def scenario(s):
+            yield 1.0
+            return "payload"
+
+        assert session.run(scenario) == "payload"
+
+    def test_client_lookup(self):
+        session = Session(ExperimentConfig())
+        assert session.client("SC7").host.hostname == "planetlab1.itwm.fhg.de"
+
+    def test_sessions_independent(self):
+        a = Session(ExperimentConfig(seed=1))
+        b = Session(ExperimentConfig(seed=1))
+        assert a.broker is not b.broker
+        assert a.sim is not b.sim
+
+
+class TestConfigPersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.overlay.peer import PeerConfig
+
+        cfg = ExperimentConfig(
+            seed=99,
+            repetitions=3,
+            include_full_slice=True,
+            peer_config=PeerConfig(petition_timeout_s=42.0),
+        )
+        path = tmp_path / "cfg.json"
+        cfg.save(path)
+        loaded = ExperimentConfig.load(path)
+        assert loaded == cfg
+
+    def test_roundtrip_without_peer_config(self, tmp_path):
+        cfg = ExperimentConfig(seed=7)
+        path = tmp_path / "cfg.json"
+        cfg.save(path)
+        assert ExperimentConfig.load(path) == cfg
+
+    def test_unknown_keys_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ExperimentConfig.from_dict({"seed": 1, "warp_factor": 9})
+
+    def test_invalid_values_still_validated(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ExperimentConfig.from_dict({"repetitions": 0})

@@ -1,0 +1,63 @@
+"""Tests for the seed-sensitivity tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    DEFAULT_SEED_PANEL,
+    SeedPanelResult,
+    run_seed_panel,
+)
+from repro.experiments import fig2_petition
+
+
+class TestRunSeedPanel:
+    def test_runs_predicate_per_seed(self):
+        seen = []
+
+        def predicate(config):
+            seen.append(config.seed)
+            return config.seed % 2 == 0
+
+        result = run_seed_panel(predicate, seeds=(2, 3, 4), name="even-seed")
+        assert seen == [2, 3, 4]
+        assert result.passes == 2
+        assert result.total == 3
+        assert result.failing_seeds == (3,)
+        assert result.pass_rate == pytest.approx(2 / 3)
+
+    def test_summary_mentions_failures(self):
+        result = SeedPanelResult("claim", {1: True, 2: False})
+        assert "1/2" in result.summary()
+        assert "[2]" in result.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_seed_panel(lambda c: True, seeds=())
+        with pytest.raises(ValueError):
+            run_seed_panel(lambda c: True, seeds=(1, 1))
+
+    def test_exceptions_propagate(self):
+        def predicate(config):
+            raise RuntimeError("experiment crashed")
+
+        with pytest.raises(RuntimeError):
+            run_seed_panel(predicate, seeds=(1,))
+
+    def test_default_panel_has_ten_distinct_seeds(self):
+        assert len(DEFAULT_SEED_PANEL) == 10
+        assert len(set(DEFAULT_SEED_PANEL)) == 10
+
+
+class TestFigure2Robustness:
+    def test_sc7_straggler_across_seeds(self):
+        """The Figure 2 straggler identity is seed-independent."""
+
+        def sc7_is_slowest(config):
+            return fig2_petition.run(config).slowest_peer() == "SC7"
+
+        result = run_seed_panel(
+            sc7_is_slowest, seeds=(2007, 41, 99), repetitions=3
+        )
+        assert result.pass_rate == 1.0

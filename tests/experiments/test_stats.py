@@ -1,0 +1,46 @@
+"""Tests for summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import Summary, ratio, summarize, summarize_by_key
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.n == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx(1.0)
+
+    def test_singleton_has_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.sem == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_sem_and_ci(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.sem == pytest.approx(s.std / 2.0)
+        lo, hi = s.ci95()
+        assert lo < s.mean < hi
+
+    def test_summarize_by_key(self):
+        rows = [{"a": 1.0, "b": 10.0}, {"a": 3.0, "b": 20.0}]
+        out = summarize_by_key(rows)
+        assert out["a"].mean == pytest.approx(2.0)
+        assert out["b"].mean == pytest.approx(15.0)
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(10.0, 4.0) == pytest.approx(2.5)
+
+    def test_zero_denominator(self):
+        assert ratio(1.0, 0.0) == float("inf")

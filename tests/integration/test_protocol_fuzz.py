@@ -1,0 +1,142 @@
+"""Protocol fuzzing: random operation sequences must leave the overlay
+consistent.
+
+A hypothesis-driven driver mixes transfers (various sizes/granularity),
+task submissions, crashes and recoveries, then lets everything settle
+and asserts the quiescence invariants: no pending counters stuck above
+zero, no leaked CPU slots, no stranded flows, and the simulator agenda
+reduced to the periodic loops only.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.experiments.scenario import ExperimentConfig, Session
+from repro.overlay.peer import PeerConfig
+from repro.units import mbit
+
+# One operation: (kind, peer index, magnitude, parts)
+operation = st.tuples(
+    st.sampled_from(["transfer", "task", "crash_recover"]),
+    st.integers(min_value=0, max_value=7),
+    st.floats(min_value=1.0, max_value=20.0),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+def _fast_config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=seed,
+        peer_config=PeerConfig(
+            petition_timeout_s=30.0,
+            petition_retries=2,
+            confirm_timeout_s=15.0,
+            confirm_retries=2,
+            request_timeout_s=30.0,
+            request_retries=2,
+        ),
+    )
+
+
+class TestProtocolFuzz:
+    @given(st.lists(operation, min_size=1, max_size=12), st.integers(0, 10_000))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_quiescence_invariants(self, ops, seed):
+        session = Session(_fast_config(seed))
+
+        def scenario(s):
+            sim, broker = s.sim, s.broker
+            labels = s.sc_labels()
+            for kind, idx, magnitude, parts in ops:
+                client = s.client(labels[idx % len(labels)])
+                if kind == "crash_recover":
+                    if client.host.is_up:
+                        client.host.crash()
+                        yield magnitude  # stay down a while
+                        client.host.recover()
+                    continue
+                try:
+                    if kind == "transfer":
+                        yield sim.process(
+                            broker.transfers.send_file(
+                                client.advertisement(),
+                                f"fuzz-{sim.now:.1f}",
+                                mbit(magnitude),
+                                n_parts=parts,
+                            )
+                        )
+                    else:
+                        yield sim.process(
+                            broker.tasks.submit(
+                                client.advertisement(),
+                                f"fuzz-task-{sim.now:.1f}",
+                                ops=magnitude * 5.0,
+                            )
+                        )
+                except ReproError:
+                    pass  # protocol-level failures are expected under fuzz
+            # Recover everyone and let stragglers settle.
+            for label in labels:
+                s.client(label).host.recover()
+            yield 400.0
+            return None
+
+        session.run(scenario)
+
+        # --- quiescence invariants -----------------------------------
+        broker = session.broker
+        assert broker.stats.pending_transfers == 0
+        for client in session.clients.values():
+            assert client.stats.pending_tasks == 0
+            assert client.stats.pending_transfers >= 0
+            assert client.transfers.incoming_open() >= 0
+            # CPU slots all returned.
+            assert client.host.cpu.in_use == 0
+            assert client.host.cpu.queued == 0
+        # No bulk flows left in flight.
+        assert session.network.flows.active_flows == 0
+        # Counters never go negative anywhere.
+        for client in session.clients.values():
+            snap = client.stats.snapshot(session.sim.now)
+            for key, value in snap.items():
+                assert value >= 0.0, (client.name, key, value)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_transfer_storm_settles(self, seed):
+        """Many concurrent transfers to every peer settle cleanly."""
+        session = Session(_fast_config(seed))
+
+        def scenario(s):
+            sim, broker = s.sim, s.broker
+            procs = []
+            for label in s.sc_labels():
+                for k in range(2):
+
+                    def one(adv=s.client(label).advertisement(), k=k):
+                        try:
+                            yield sim.process(
+                                broker.transfers.send_file(
+                                    adv, f"storm-{adv.name}-{k}", mbit(8),
+                                    n_parts=2,
+                                )
+                            )
+                        except ReproError:
+                            pass
+
+                    procs.append(sim.process(one()))
+            yield sim.all_of(procs)
+            yield 120.0
+            return None
+
+        session.run(scenario)
+        assert session.network.flows.active_flows == 0
+        assert session.broker.stats.pending_transfers == 0

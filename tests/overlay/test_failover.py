@@ -1,0 +1,116 @@
+"""Tests for broker liveness probing and client failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.broker import Broker
+from repro.overlay.client import SimpleClient
+from repro.overlay.ids import IdFactory
+from repro.overlay.peer import PeerConfig
+from repro.simnet.kernel import Simulator
+from repro.simnet.rng import RandomStreams
+from repro.simnet.topology import NodeSpec, Region, Site, Topology
+from repro.simnet.transport import Network
+
+from tests.conftest import run_process
+
+
+def _topology() -> Topology:
+    region = Region("eu")
+    site = Site(name="lab", region=region)
+    topo = Topology()
+    for hostname in ("hub-a.example", "hub-b.example", "peer.example"):
+        topo.add_node(
+            NodeSpec(
+                hostname=hostname, site=site, up_bps=20e6, down_bps=20e6,
+                overhead_s=0.01, overhead_cv=0.0,
+                load_min_share=1.0, load_max_share=1.0,
+            )
+        )
+    topo.set_region_rtt("eu", "eu", 0.02)
+    return topo
+
+
+@pytest.fixture
+def cluster():
+    sim = Simulator()
+    net = Network(sim, _topology(), streams=RandomStreams(23))
+    ids = IdFactory()
+    a = Broker(net, "hub-a.example", ids, name="broker-a")
+    b = Broker(net, "hub-b.example", ids, name="broker-b")
+    client = SimpleClient(
+        net, "peer.example", ids, name="client",
+        config=PeerConfig(request_timeout_s=10.0, request_retries=1),
+    )
+    run_process(sim, client.connect(a.advertisement()))
+    return sim, a, b, client
+
+
+class TestPing:
+    def test_live_broker_answers(self, cluster):
+        sim, a, b, client = cluster
+        assert run_process(sim, client.ping_broker()) is True
+
+    def test_dead_broker_times_out(self, cluster):
+        sim, a, b, client = cluster
+        a.host.crash()
+        assert run_process(sim, client.ping_broker(timeout=5.0)) is False
+
+
+class TestFailover:
+    def test_rehomes_to_backup_when_broker_dies(self, cluster):
+        sim, a, b, client = cluster
+        client.enable_failover(
+            [b.advertisement()], check_interval_s=30.0, ping_timeout_s=5.0
+        )
+        a.host.crash()
+        sim.run(until=sim.now + 120.0)
+        assert client.online
+        assert client.broker_adv.peer_id == b.peer_id
+        assert client.peer_id in b.registry
+        assert b.registry[client.peer_id].online
+
+    def test_no_failover_while_broker_alive(self, cluster):
+        sim, a, b, client = cluster
+        client.enable_failover(
+            [b.advertisement()], check_interval_s=30.0, ping_timeout_s=5.0
+        )
+        sim.run(until=sim.now + 120.0)
+        assert client.broker_adv.peer_id == a.peer_id
+        assert client.peer_id not in b.registry
+
+    def test_session_restarts_on_rehome(self, cluster):
+        sim, a, b, client = cluster
+        sessions_before = client.stats.sessions_started
+        client.enable_failover(
+            [b.advertisement()], check_interval_s=30.0, ping_timeout_s=5.0
+        )
+        a.host.crash()
+        sim.run(until=sim.now + 120.0)
+        assert client.stats.sessions_started == sessions_before + 1
+
+    def test_survives_all_backups_dead(self, cluster):
+        sim, a, b, client = cluster
+        client.enable_failover(
+            [b.advertisement()], check_interval_s=30.0, ping_timeout_s=5.0
+        )
+        a.host.crash()
+        b.host.crash()
+        sim.run(until=sim.now + 150.0)
+        # Still online (degraded), still pointing somewhere.
+        assert client.online
+
+    def test_enable_requires_connection(self, cluster):
+        sim, a, b, client = cluster
+        client.disconnect()
+        sim.run(until=sim.now + 1.0)
+        from repro.errors import NotConnectedError
+
+        with pytest.raises(NotConnectedError):
+            client.enable_failover([b.advertisement()])
+
+    def test_interval_validation(self, cluster):
+        sim, a, b, client = cluster
+        with pytest.raises(ValueError):
+            client.enable_failover([b.advertisement()], check_interval_s=0.0)

@@ -1,0 +1,270 @@
+"""Tests for the file-transmission protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransferAborted
+from repro.overlay.broker import Broker
+from repro.overlay.client import SimpleClient
+from repro.overlay.filetransfer import split_even
+from repro.overlay.ids import IdFactory
+from repro.simnet.kernel import Simulator
+from repro.simnet.rng import RandomStreams
+from repro.simnet.transport import Network
+from repro.units import mbit
+
+from tests.conftest import connect, make_two_node_topology, run_process
+
+
+class TestSplitEven:
+    def test_even_division(self):
+        sizes = split_even(mbit(100), 4)
+        assert len(sizes) == 4
+        assert all(s == mbit(25) for s in sizes)
+
+    def test_single_part(self):
+        assert split_even(mbit(50), 1) == [mbit(50)]
+
+    def test_sizes_sum_to_total(self):
+        sizes = split_even(mbit(100), 7)
+        assert sum(sizes) == pytest.approx(mbit(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_even(0.0, 4)
+        with pytest.raises(ValueError):
+            split_even(mbit(1), 0)
+
+
+class TestSendFile:
+    def test_outcome_complete(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim,
+            broker.transfers.send_file(
+                client.advertisement(), "f.bin", mbit(10), n_parts=2
+            ),
+        )
+        assert outcome.ok
+        assert len(outcome.parts) == 2
+        assert outcome.petition_time > 0
+        assert outcome.ack_received_at > outcome.petition_sent_at
+        assert outcome.finished_at >= outcome.parts[-1].bulk_done_at
+        assert outcome.total_duration >= outcome.transmission_time
+
+    def test_petition_time_reflects_receiver_overhead(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim,
+            broker.transfers.send_file(client.advertisement(), "f", mbit(1)),
+        )
+        # b.example overhead 0.05 deterministic + one-way 0.01.
+        assert outcome.petition_time == pytest.approx(0.06, abs=1e-6)
+
+    def test_parts_sequential(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim,
+            broker.transfers.send_file(
+                client.advertisement(), "f", mbit(12), n_parts=3
+            ),
+        )
+        for prev, nxt in zip(outcome.parts, outcome.parts[1:]):
+            assert nxt.started_at >= prev.confirmed_at
+
+    def test_measure_last_mb_appends_unit(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim,
+            broker.transfers.send_file(
+                client.advertisement(),
+                "f",
+                mbit(10),
+                n_parts=1,
+                measure_last_mb=True,
+            ),
+        )
+        assert outcome.last_mb_time is not None
+        assert outcome.parts[-1].is_last_mb
+        assert outcome.parts[-1].size_bits == pytest.approx(mbit(1))
+        assert sum(p.size_bits for p in outcome.parts) == pytest.approx(mbit(10))
+
+    def test_no_last_mb_when_not_measuring(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim,
+            broker.transfers.send_file(client.advertisement(), "f", mbit(10)),
+        )
+        assert outcome.last_mb_time is None
+
+    def test_sender_stats_updated(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        run_process(
+            sim,
+            broker.transfers.send_file(client.advertisement(), "f", mbit(4)),
+        )
+        assert broker.stats.total.files_sent_ok == 1
+        assert broker.stats.pending_transfers == 0
+        inter = broker.interaction_stats("b.example")
+        assert inter.total.files_sent_ok == 1
+
+    def test_receiver_pending_returns_to_zero(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        run_process(
+            sim,
+            broker.transfers.send_file(
+                client.advertisement(), "f", mbit(4), n_parts=2
+            ),
+        )
+        assert client.stats.pending_transfers == 0
+        assert client.transfers.incoming_open() == 0
+
+    def test_observation_history_fed(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        run_process(
+            sim,
+            broker.transfers.send_file(client.advertisement(), "f", mbit(4)),
+        )
+        hist = broker.observed_perf(client.peer_id)
+        assert hist.estimated_transfer_bps(0.0) > 0
+        assert hist.estimated_petition_latency() > 0
+
+    def test_lossy_transfer_retries_parts(self):
+        sim = Simulator()
+        topo = make_two_node_topology(loss_b=0.05)
+        net = Network(sim, topo, streams=RandomStreams(3))
+        ids = IdFactory()
+        broker = Broker(net, "a.example", ids, name="broker")
+        client = SimpleClient(net, "b.example", ids, name="client")
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim,
+            broker.transfers.send_file(
+                client.advertisement(), "f", mbit(60), n_parts=2
+            ),
+        )
+        assert outcome.ok
+        assert outcome.total_attempts > 2  # some retransmissions happened
+
+
+class TestTransferHandle:
+    def test_open_send_close(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        handle = run_process(
+            sim,
+            broker.transfers.open_transfer(
+                client.advertisement(), "f", mbit(10)
+            ),
+        )
+        rec1 = run_process(sim, handle.send_part(mbit(5)))
+        rec2 = run_process(sim, handle.send_part(mbit(5)))
+        assert (rec1.index, rec2.index) == (0, 1)
+        outcome = handle.close()
+        assert outcome.ok
+        assert len(outcome.parts) == 2
+
+    def test_outgoing_open_tracked(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        assert broker.transfers.outgoing_open("b.example") == 0
+        handle = run_process(
+            sim,
+            broker.transfers.open_transfer(client.advertisement(), "f", mbit(2)),
+        )
+        assert broker.transfers.outgoing_open("b.example") == 1
+        handle.close()
+        assert broker.transfers.outgoing_open("b.example") == 0
+
+    def test_cancel_records_cancellation(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        handle = run_process(
+            sim,
+            broker.transfers.open_transfer(client.advertisement(), "f", mbit(2)),
+        )
+        run_process(sim, handle.send_part(mbit(1)))
+        handle.cancel("test")
+        sim.run(until=sim.now + 1.0)
+        assert broker.stats.total.transfers_cancelled == 1
+        assert not handle.outcome.ok
+        # Receiver state cleaned up by the cancel message.
+        assert client.transfers.incoming_open() == 0
+
+    def test_send_after_close_raises(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        handle = run_process(
+            sim,
+            broker.transfers.open_transfer(client.advertisement(), "f", mbit(2)),
+        )
+        handle.close()
+        p = sim.process(handle.send_part(mbit(1)))
+        with pytest.raises(TransferAborted):
+            sim.run(until=p)
+
+    def test_close_idempotent(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        handle = run_process(
+            sim,
+            broker.transfers.open_transfer(client.advertisement(), "f", mbit(2)),
+        )
+        out1 = handle.close()
+        out2 = handle.close()
+        assert out1 is out2
+        assert broker.stats.total.files_attempted == 1
+
+    def test_per_part_goodput_recorded(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        handle = run_process(
+            sim,
+            broker.transfers.open_transfer(client.advertisement(), "f", mbit(4)),
+        )
+        run_process(sim, handle.send_part(mbit(4)))
+        handle.close()
+        assert broker.observed_perf(client.peer_id).transfer_obs
+
+
+class TestReceiverProtocol:
+    def test_duplicate_notice_confirmed_without_extra_io(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        handle = run_process(
+            sim,
+            broker.transfers.open_transfer(
+                client.advertisement(), "f", mbit(4), n_parts_hint=1
+            ),
+        )
+        run_process(sim, handle.send_part(mbit(4)))
+
+        from repro.overlay.messages import PartNotice
+
+        # Replay the notice: the receiver must re-confirm immediately.
+        before = sim.now
+        notice = PartNotice(transfer_id=handle.transfer_id, index=0, size_bits=mbit(4))
+        waiter = broker.expect(("part-confirm", handle.transfer_id, 0))
+        broker.host.send(net.host("b.example"), notice, light=True)
+        sim.run(until=waiter)
+        # No I/O delay on replay: well under the part_io_fixed_s.
+        assert sim.now - before < client.config.part_io_fixed_s
+
+    def test_petition_ack_carries_received_at(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim,
+            broker.transfers.send_file(client.advertisement(), "f", mbit(1)),
+        )
+        assert outcome.petition_received_at > outcome.petition_sent_at
+        assert outcome.ack_received_at >= outcome.petition_received_at

@@ -1,0 +1,97 @@
+"""Tests for peergroup management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GroupMembershipError
+from repro.overlay.advertisements import GroupAdvertisement
+from repro.overlay.group import GroupRegistry, PeerGroup
+from repro.overlay.ids import IdFactory
+
+ids = IdFactory()
+
+
+def make_group(name="study"):
+    adv = GroupAdvertisement(
+        published_at=0.0, group_id=ids.group_id(name), name=name
+    )
+    return PeerGroup(adv=adv)
+
+
+class TestPeerGroup:
+    def test_add_and_contains(self):
+        g = make_group()
+        pid = ids.peer_id("p")
+        g.add(pid)
+        assert pid in g
+        assert len(g) == 1
+
+    def test_double_add_rejected(self):
+        g = make_group()
+        pid = ids.peer_id("p")
+        g.add(pid)
+        with pytest.raises(GroupMembershipError):
+            g.add(pid)
+
+    def test_remove(self):
+        g = make_group()
+        pid = ids.peer_id("p")
+        g.add(pid)
+        g.remove(pid)
+        assert pid not in g
+
+    def test_remove_nonmember_rejected(self):
+        g = make_group()
+        with pytest.raises(GroupMembershipError):
+            g.remove(ids.peer_id("ghost"))
+
+    def test_member_ids_sorted(self):
+        g = make_group()
+        pids = [ids.peer_id(f"p{i}") for i in range(5)]
+        for pid in pids:
+            g.add(pid)
+        assert g.member_ids() == tuple(sorted(pids))
+
+
+class TestGroupRegistry:
+    def test_create_and_get(self):
+        reg = GroupRegistry()
+        g = reg.create(make_group("a").adv)
+        assert reg.get(g.group_id) is g
+        assert len(reg) == 1
+
+    def test_duplicate_create_rejected(self):
+        reg = GroupRegistry()
+        adv = make_group("a").adv
+        reg.create(adv)
+        with pytest.raises(GroupMembershipError):
+            reg.create(adv)
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(GroupMembershipError):
+            GroupRegistry().get(ids.group_id("ghost"))
+
+    def test_by_name(self):
+        reg = GroupRegistry()
+        reg.create(make_group("alpha").adv)
+        reg.create(make_group("beta").adv)
+        assert reg.by_name("beta").name == "beta"
+        with pytest.raises(GroupMembershipError):
+            reg.by_name("gamma")
+
+    def test_drop_member_everywhere(self):
+        reg = GroupRegistry()
+        g1 = reg.create(make_group("a").adv)
+        g2 = reg.create(make_group("b").adv)
+        pid = ids.peer_id("p")
+        g1.add(pid)
+        g2.add(pid)
+        assert reg.drop_member_everywhere(pid) == 2
+        assert pid not in g1 and pid not in g2
+
+    def test_iteration(self):
+        reg = GroupRegistry()
+        reg.create(make_group("a").adv)
+        reg.create(make_group("b").adv)
+        assert {g.name for g in reg} == {"a", "b"}

@@ -1,0 +1,172 @@
+"""Tests for the peer node base class (membership, requests, stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownPeerError
+from repro.overlay.messages import InstantMessage, KeepAlive, StatReport
+from repro.overlay.peer import PeerConfig, PeerNode, RequestTimeout
+
+from tests.conftest import connect, run_process
+
+
+class TestPeerConfigValidation:
+    def test_defaults_valid(self):
+        PeerConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("keepalive_interval_s", 0.0),
+            ("petition_timeout_s", -1.0),
+            ("petition_retries", 0),
+            ("task_queue_limit", 0),
+            ("part_io_fixed_s", -0.1),
+            ("part_io_bps", 0.0),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ValueError):
+            PeerConfig(**kwargs)
+
+
+class TestIdentity:
+    def test_advertisement_reflects_host(self, overlay_pair):
+        broker, client, net = overlay_pair
+        adv = client.advertisement()
+        assert adv.hostname == "b.example"
+        assert adv.kind == "simpleclient"
+        assert adv.peer_id == client.peer_id
+
+    def test_learn_and_host_for(self, overlay_pair):
+        broker, client, net = overlay_pair
+        client.learn(broker.advertisement())
+        host = client.host_for(broker.peer_id)
+        assert host.hostname == "a.example"
+
+    def test_unknown_peer_unroutable(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        from repro.overlay.ids import IdFactory
+
+        with pytest.raises(UnknownPeerError):
+            client.host_for(IdFactory("other").peer_id("ghost"))
+
+
+class TestConnect:
+    def test_connect_registers_and_opens_session(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        assert client.online
+        assert client.stats.session_active
+        assert client.peer_id in broker.registry
+        assert broker.registry[client.peer_id].online
+
+    def test_disconnect_notifies_broker(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        client.disconnect()
+        sim.run()
+        assert not client.online
+        assert not broker.registry[client.peer_id].online
+        assert not client.stats.session_active
+
+    def test_reconnect_after_disconnect(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        client.disconnect()
+        sim.run()
+        connect(sim, broker, client)
+        assert client.online
+        assert broker.registry[client.peer_id].online
+        assert client.stats.sessions_started == 2
+
+    def test_keepalives_update_record(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        client.stats.pending_tasks = 2
+        sim.run(until=sim.now + 65.0)
+        rec = broker.registry[client.peer_id]
+        assert rec.pending_tasks == 2
+
+    def test_stat_reports_update_snapshot(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        client.stats.record_message(sim.now, ok=False)
+        sim.run(until=sim.now + 130.0)
+        rec = broker.registry[client.peer_id]
+        assert rec.snapshot["pct_messages_ok_session"] == pytest.approx(0.5, abs=0.5)
+        assert "pct_files_sent_total" in rec.snapshot
+
+
+class TestWaiters:
+    def test_fulfill_wakes_oldest(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        ev1 = client.expect("key")
+        ev2 = client.expect("key")
+        assert client.fulfill("key", 1)
+        assert ev1.triggered and not ev2.triggered
+        assert client.fulfill("key", 2)
+        assert ev2.triggered
+
+    def test_fulfill_without_waiter_false(self, overlay_pair):
+        broker, client, net = overlay_pair
+        assert not client.fulfill("nothing", 1)
+
+    def test_cancel_wait_removes(self, overlay_pair):
+        broker, client, net = overlay_pair
+        ev = client.expect("key")
+        client.cancel_wait("key", ev)
+        assert not client.fulfill("key", 1)
+
+
+class TestRequest:
+    def test_request_timeout_exhausts_retries(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        # Nobody replies to an InstantMessage, so the request times out.
+        broker_host = net.host("a.example")
+        gen = client.request(
+            broker_host,
+            InstantMessage(sender=client.peer_id, text="hi"),
+            key=("never", 1),
+            timeout=1.0,
+            retries=3,
+        )
+        p = sim.process(gen)
+        with pytest.raises(RequestTimeout):
+            sim.run(until=p)
+        # Three failed attempts recorded in message stats.
+        assert client.stats.total.messages_sent == 3
+        assert client.stats.total.messages_ok == 0
+
+    def test_request_interaction_stats_per_destination(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        broker_host = net.host("a.example")
+        gen = client.request(
+            broker_host,
+            InstantMessage(sender=client.peer_id, text="hi"),
+            key=("never", 2),
+            timeout=1.0,
+            retries=2,
+        )
+        p = sim.process(gen)
+        with pytest.raises(RequestTimeout):
+            sim.run(until=p)
+        inter = client.interaction_stats("a.example")
+        assert inter.total.messages_sent == 2
+        assert inter.total.messages_ok == 0
+
+
+class TestInstantMessaging:
+    def test_im_lands_in_inbox(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        broker.send_im(client.advertisement(), "hello")
+        sim.run()
+        ev = client.im_inbox.get()
+        assert ev.triggered
+        assert ev.value.text == "hello"
+
+    def test_query_ids_monotonic(self, overlay_pair):
+        broker, client, net = overlay_pair
+        assert client.next_query_id() < client.next_query_id()

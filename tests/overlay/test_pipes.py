@@ -1,0 +1,101 @@
+"""Tests for unicast and propagate pipes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PipeClosedError
+from repro.overlay.pipes import PropagatePipe, UnicastPipe
+
+from tests.conftest import connect, run_process
+
+
+class TestUnicastPipe:
+    def test_bind_then_send(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        pipe = UnicastPipe(broker, client.advertisement())
+        ack = run_process(sim, pipe.bind())
+        assert ack.accepted
+        assert pipe.bound
+
+        waiter = client.expect(("pipe-msg", pipe.pipe_id))
+        pipe.send({"data": 1})
+        sim.run(until=waiter)
+        assert waiter.value.body == {"data": 1}
+        assert pipe.messages_sent == 1
+
+    def test_send_unbound_raises(self, overlay_pair):
+        broker, client, net = overlay_pair
+        pipe = UnicastPipe(broker, client.advertisement())
+        with pytest.raises(PipeClosedError):
+            pipe.send("x")
+
+    def test_send_closed_raises(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        pipe = UnicastPipe(broker, client.advertisement())
+        run_process(sim, pipe.bind())
+        pipe.close()
+        with pytest.raises(PipeClosedError):
+            pipe.send("x")
+
+    def test_bind_closed_raises(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        pipe = UnicastPipe(broker, client.advertisement())
+        pipe.close()
+        with pytest.raises(PipeClosedError):
+            run_process(sim, pipe.bind())
+
+    def test_unrouted_message_falls_to_inbox(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        pipe = UnicastPipe(broker, client.advertisement())
+        run_process(sim, pipe.bind())
+        pipe.send("orphan")
+        sim.run(until=sim.now + 1.0)
+        ev = client.im_inbox.get()
+        assert ev.triggered
+        assert ev.value.body == "orphan"
+
+    def test_advertisement(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        pipe = UnicastPipe(broker, client.advertisement())
+        adv = pipe.advertisement()
+        assert adv.pipe_type == "unicast"
+        assert adv.owner == broker.peer_id
+
+
+class TestPropagatePipe:
+    def test_fans_out_to_members(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        pipe = PropagatePipe(broker, "announcements")
+        pipe.attach([client.advertisement()])
+        n = pipe.send("hello all")
+        assert n == 1
+        sim.run(until=sim.now + 1.0)
+        ev = client.im_inbox.get()
+        assert ev.triggered
+        assert ev.value.body == "hello all"
+
+    def test_duplicate_members_ignored(self, overlay_pair):
+        broker, client, net = overlay_pair
+        pipe = PropagatePipe(broker, "x")
+        adv = client.advertisement()
+        pipe.attach([adv])
+        pipe.attach([adv])
+        assert len(pipe.members) == 1
+
+    def test_self_excluded(self, overlay_pair):
+        broker, client, net = overlay_pair
+        pipe = PropagatePipe(broker, "x")
+        pipe.attach([broker.advertisement(), client.advertisement()])
+        assert len(pipe.members) == 1
+
+    def test_closed_raises(self, overlay_pair):
+        broker, client, net = overlay_pair
+        pipe = PropagatePipe(broker, "x")
+        pipe.close()
+        with pytest.raises(PipeClosedError):
+            pipe.send("x")

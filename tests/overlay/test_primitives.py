@@ -1,0 +1,97 @@
+"""Tests for the Primitives façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.primitives import Primitives
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.blind import FirstSelector
+from repro.units import mbit
+
+from tests.conftest import connect, run_process
+
+
+@pytest.fixture
+def prim(overlay_pair, sim):
+    broker, client, net = overlay_pair
+    connect(sim, broker, client)
+    return Primitives(broker), broker, client, sim
+
+
+class TestDiscoveryOps:
+    def test_discover_peers(self, prim):
+        p, broker, client, sim = prim
+        advs = run_process(sim, p.discover_peers())
+        assert any(a.peer_id == client.peer_id for a in advs)
+
+    def test_share_and_discover_file(self, prim):
+        p, broker, client, sim = prim
+        client_prim = Primitives(client)
+        client_prim.share_file("lecture.avi", mbit(100))
+        sim.run(until=sim.now + 1.0)
+        advs = run_process(sim, p.discover_resources(name="lecture.avi"))
+        assert len(advs) == 1
+        assert advs[0].attrs["size_bits"] == mbit(100)
+
+
+class TestSelection:
+    def test_select_peer_delegates(self, prim):
+        p, broker, client, sim = prim
+        ctx = SelectionContext(
+            broker=broker,
+            now=sim.now,
+            workload=Workload(transfer_bits=mbit(1)),
+            candidates=broker.candidates(),
+        )
+        rec = p.select_peer(FirstSelector(), ctx)
+        assert rec.peer_id == client.peer_id
+
+
+class TestTransferAndTasks:
+    def test_send_file(self, prim):
+        p, broker, client, sim = prim
+        outcome = run_process(
+            sim,
+            p.send_file(client.advertisement(), "f.bin", mbit(4), n_parts=2),
+        )
+        assert outcome.ok
+
+    def test_submit_task(self, prim):
+        p, broker, client, sim = prim
+        outcome = run_process(
+            sim, p.submit_task(client.advertisement(), "job", ops=5.0)
+        )
+        assert outcome.ok
+
+
+class TestMessagingAndGroups:
+    def test_instant_message_roundtrip(self, prim):
+        p, broker, client, sim = prim
+        p.send_message(client.advertisement(), "hi")
+        sim.run(until=sim.now + 1.0)
+        client_prim = Primitives(client)
+        ev = client_prim.next_message()
+        assert ev.triggered
+        assert ev.value.text == "hi"
+
+    def test_join_group(self, prim):
+        p, broker, client, sim = prim
+        group = broker.create_group("campus")
+        client_prim = Primitives(client)
+        ack = run_process(sim, client_prim.join_group(group.group_id))
+        assert ack.accepted
+        assert client.peer_id in group
+
+    def test_discover_groups(self, prim):
+        p, broker, client, sim = prim
+        broker.create_group("campus")
+        advs = run_process(sim, p.discover_groups(name="campus"))
+        assert len(advs) == 1
+
+    def test_open_pipes(self, prim):
+        p, broker, client, sim = prim
+        unicast = p.open_pipe(client.advertisement())
+        assert not unicast.bound
+        prop = p.open_propagate_pipe("all", [client.advertisement()])
+        assert len(prop.members) == 1

@@ -1,0 +1,251 @@
+"""Tests for the §2.2 statistics accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.statistics import Counters, PeerStats, PerformanceHistory
+
+
+class TestCounters:
+    def test_shares_default_optimistic(self):
+        c = Counters()
+        assert c.pct_messages_ok == 1.0
+        assert c.pct_tasks_ok == 1.0
+        assert c.pct_transfers_cancelled == 0.0
+
+    def test_shares_computed(self):
+        c = Counters(messages_sent=4, messages_ok=3)
+        assert c.pct_messages_ok == pytest.approx(0.75)
+
+    def test_merge_into_accumulates(self):
+        a = Counters(messages_sent=2, messages_ok=1, files_attempted=1)
+        b = Counters(messages_sent=3, messages_ok=3)
+        a.merge_into(b)
+        assert b.messages_sent == 5
+        assert b.messages_ok == 4
+        assert b.files_attempted == 1
+
+
+class TestSessionLifecycle:
+    def test_start_resets_session_window(self):
+        s = PeerStats()
+        s.start_session()
+        s.record_message(1.0, ok=True)
+        s.end_session()
+        s.start_session()
+        assert s.session.messages_sent == 0
+        assert s.total.messages_sent == 1
+        assert s.sessions_started == 2
+
+    def test_double_start_rejected(self):
+        s = PeerStats()
+        s.start_session()
+        with pytest.raises(ValueError):
+            s.start_session()
+
+    def test_end_without_start_rejected(self):
+        with pytest.raises(ValueError):
+            PeerStats().end_session()
+
+
+class TestRecording:
+    def test_message_shares(self):
+        s = PeerStats()
+        s.record_message(1.0, ok=True)
+        s.record_message(2.0, ok=False)
+        assert s.session.pct_messages_ok == pytest.approx(0.5)
+        assert s.total.pct_messages_ok == pytest.approx(0.5)
+
+    def test_task_offer_and_execution(self):
+        s = PeerStats()
+        s.record_task_offered(accepted=True)
+        s.record_task_offered(accepted=False)
+        s.record_task_executed(1.0, ok=True)
+        assert s.session.pct_tasks_accepted == pytest.approx(0.5)
+        assert s.session.pct_tasks_ok == 1.0
+
+    def test_file_attempts_and_cancellations(self):
+        s = PeerStats()
+        s.record_file_attempt(1.0, ok=True)
+        s.record_file_attempt(2.0, ok=False, cancelled=True)
+        assert s.session.pct_files_sent == pytest.approx(0.5)
+        assert s.session.pct_transfers_cancelled == pytest.approx(0.5)
+
+    def test_queue_sampling(self):
+        s = PeerStats()
+        s.sample_queues(2, 4)
+        s.sample_queues(4, 0)
+        assert s.outbox_len_now == 4
+        assert s.outbox_len_avg == pytest.approx(3.0)
+        assert s.inbox_len_avg == pytest.approx(2.0)
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError):
+            PeerStats().sample_queues(-1, 0)
+
+
+class TestLastKHours:
+    def test_windowed_share(self):
+        s = PeerStats()
+        s.record_message(0.0, ok=False)          # old
+        s.record_message(5000.0, ok=True)        # recent
+        # At t=5400 a 1-hour window sees only the recent success.
+        assert s.pct_ok_last("message", 5400.0, 1.0) == 1.0
+        # A 2-hour window sees both.
+        assert s.pct_ok_last("message", 5400.0, 2.0) == pytest.approx(0.5)
+
+    def test_empty_window_optimistic(self):
+        assert PeerStats().pct_ok_last("file", 100.0, 1.0) == 1.0
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            PeerStats().pct_ok_last("sprocket", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            PeerStats().pct_ok_last("message", 0.0, 0.0)
+
+    def test_log_pruned_beyond_retention(self):
+        s = PeerStats()
+        s.record_message(0.0, ok=True)
+        s.record_message(s.LOG_RETENTION_S + 10.0, ok=False)
+        assert len(s._log) == 1
+
+
+class TestSnapshot:
+    def test_snapshot_has_all_criterion_inputs(self):
+        s = PeerStats()
+        snap = s.snapshot(now=0.0)
+        expected = {
+            "pct_messages_ok_session",
+            "pct_messages_ok_total",
+            "pct_messages_ok_last_k",
+            "outbox_len_now",
+            "outbox_len_avg",
+            "inbox_len_now",
+            "inbox_len_avg",
+            "pct_tasks_ok_session",
+            "pct_tasks_ok_total",
+            "pct_tasks_accepted_session",
+            "pct_tasks_accepted_total",
+            "pct_files_sent_session",
+            "pct_files_sent_total",
+            "pct_transfers_cancelled_session",
+            "pct_transfers_cancelled_total",
+            "pending_transfers",
+            "pending_tasks",
+            "sessions_started",
+        }
+        assert expected <= set(snap)
+
+    def test_snapshot_values_trackable(self):
+        s = PeerStats()
+        s.pending_transfers = 3
+        snap = s.snapshot(now=0.0)
+        assert snap["pending_transfers"] == 3.0
+
+
+class TestStatisticsProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_message_share_matches_fraction(self, oks):
+        s = PeerStats()
+        for i, ok in enumerate(oks):
+            s.record_message(float(i), ok=ok)
+        assert s.total.pct_messages_ok == pytest.approx(sum(oks) / len(oks))
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_queue_avg_is_sample_mean(self, lens):
+        s = PeerStats()
+        for n in lens:
+            s.sample_queues(n, 0)
+        assert s.outbox_len_avg == pytest.approx(sum(lens) / len(lens))
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_session_never_exceeds_total(self, oks):
+        s = PeerStats()
+        s.start_session()
+        for i, ok in enumerate(oks):
+            s.record_message(float(i), ok=ok)
+        assert s.session.messages_sent <= s.total.messages_sent
+        assert s.session.messages_ok <= s.total.messages_ok
+
+
+class TestPerformanceHistory:
+    def test_transfer_ewma(self):
+        h = PerformanceHistory(alpha=0.5)
+        h.record_transfer(0.0, 100.0, 1.0)     # 100 bps
+        h.record_transfer(1.0, 300.0, 1.0)     # 300 bps
+        assert h.estimated_transfer_bps(0.0) == pytest.approx(200.0)
+
+    def test_fallbacks_when_empty(self):
+        h = PerformanceHistory()
+        assert h.estimated_transfer_bps(42.0) == 42.0
+        assert h.estimated_exec_rate(7.0) == 7.0
+        assert h.estimated_petition_latency(0.5) == 0.5
+
+    def test_latency_window_query(self):
+        h = PerformanceHistory()
+        h.record_petition_latency(10.0, 0.5)
+        h.record_petition_latency(20.0, 1.5)
+        h.record_petition_latency(30.0, 2.5)
+        assert h.latencies_in_window(15.0, 25.0) == [1.5]
+        assert h.latencies_in_window(0.0, 100.0) == [0.5, 1.5, 2.5]
+
+    def test_transfer_window_query(self):
+        h = PerformanceHistory()
+        h.record_transfer(5.0, 100.0, 1.0)
+        assert h.transfer_rates_in_window(0.0, 10.0) == [100.0]
+        assert h.transfer_rates_in_window(6.0, 10.0) == []
+
+    def test_window_bounded(self):
+        h = PerformanceHistory(window=4)
+        for i in range(10):
+            h.record_petition_latency(float(i), 0.1)
+        assert len(h.latency_obs) == 4
+
+    def test_validation(self):
+        h = PerformanceHistory()
+        with pytest.raises(ValueError):
+            h.record_transfer(0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            h.record_execution(0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            h.record_petition_latency(0.0, -1.0)
+        with pytest.raises(ValueError):
+            h.latencies_in_window(5.0, 1.0)
+        with pytest.raises(ValueError):
+            PerformanceHistory(window=0)
+
+    def test_exec_rate(self):
+        h = PerformanceHistory(alpha=1.0)
+        h.record_execution(0.0, 100.0, 4.0)
+        assert h.estimated_exec_rate(0.0) == pytest.approx(25.0)
+
+
+class TestSessionArchive:
+    def test_closed_sessions_archived_in_order(self):
+        s = PeerStats()
+        s.start_session()
+        s.record_message(1.0, ok=True)
+        s.end_session()
+        s.start_session()
+        s.record_message(2.0, ok=False)
+        s.record_message(3.0, ok=False)
+        s.end_session()
+        assert len(s.closed_sessions) == 2
+        assert s.closed_sessions[0].messages_sent == 1
+        assert s.closed_sessions[1].messages_sent == 2
+
+    def test_archive_sums_to_totals(self):
+        s = PeerStats()
+        for oks in ([True, False], [True], [False, False, True]):
+            s.start_session()
+            for i, ok in enumerate(oks):
+                s.record_message(float(i), ok=ok)
+            s.end_session()
+        archived_sent = sum(c.messages_sent for c in s.closed_sessions)
+        assert archived_sent == s.total.messages_sent

@@ -1,0 +1,221 @@
+"""Tests for executable-task management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskRejectedError
+from repro.overlay.peer import PeerConfig
+
+from tests.conftest import connect, run_process
+
+
+class TestSubmit:
+    def test_simple_execution(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcome = run_process(
+            sim, broker.tasks.submit(client.advertisement(), "t", ops=10.0)
+        )
+        assert outcome.ok
+        assert outcome.busy_seconds > 0
+        assert outcome.result_at > outcome.submitted_at
+        assert outcome.transfer is None
+        assert outcome.transfer_seconds == 0.0
+
+    def test_busy_seconds_scale_with_ops(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        o1 = run_process(
+            sim, broker.tasks.submit(client.advertisement(), "t1", ops=10.0)
+        )
+        o2 = run_process(
+            sim, broker.tasks.submit(client.advertisement(), "t2", ops=20.0)
+        )
+        assert o2.busy_seconds == pytest.approx(2 * o1.busy_seconds, rel=0.01)
+
+    def test_with_input_file(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        from repro.units import mbit
+
+        outcome = run_process(
+            sim,
+            broker.tasks.submit(
+                client.advertisement(),
+                "t",
+                ops=10.0,
+                input_bits=mbit(5),
+                input_parts=2,
+            ),
+        )
+        assert outcome.ok
+        assert outcome.transfer is not None
+        assert outcome.transfer.ok
+        assert outcome.transfer_seconds > 0
+        assert outcome.total_seconds == pytest.approx(
+            outcome.transfer_seconds + outcome.round_trip_seconds
+        )
+
+    def test_executor_stats_updated(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        run_process(
+            sim, broker.tasks.submit(client.advertisement(), "t", ops=5.0)
+        )
+        assert client.stats.total.tasks_offered == 1
+        assert client.stats.total.tasks_accepted == 1
+        assert client.stats.total.tasks_executed == 1
+        assert client.stats.total.tasks_ok == 1
+        assert client.stats.pending_tasks == 0
+
+    def test_execution_observation_recorded(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        run_process(
+            sim, broker.tasks.submit(client.advertisement(), "t", ops=50.0)
+        )
+        hist = broker.observed_perf(client.peer_id)
+        assert hist.estimated_exec_rate(0.0) > 0
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects(self, sim, streams, two_node_topology):
+        from repro.overlay.broker import Broker
+        from repro.overlay.client import SimpleClient
+        from repro.overlay.ids import IdFactory
+        from repro.simnet.transport import Network
+
+        net = Network(sim, two_node_topology, streams=streams)
+        ids = IdFactory()
+        cfg = PeerConfig(task_queue_limit=1)
+        broker = Broker(net, "a.example", ids, name="broker")
+        client = SimpleClient(net, "b.example", ids, name="client", config=cfg)
+        connect(sim, broker, client)
+
+        outcomes = []
+        errors = []
+
+        def submit_two():
+            def one(name):
+                try:
+                    out = yield sim.process(
+                        broker.tasks.submit(client.advertisement(), name, ops=50.0)
+                    )
+                    outcomes.append(out)
+                except TaskRejectedError as exc:
+                    errors.append(exc)
+
+            # Fire both without waiting: second should hit a full queue.
+            p1 = sim.process(one("t1"))
+            p2 = sim.process(one("t2"))
+            yield sim.all_of([p1, p2])
+
+        run_process(sim, submit_two())
+        assert len(outcomes) == 1
+        assert len(errors) == 1
+        assert client.stats.total.tasks_offered == 2
+        assert client.stats.total.tasks_accepted == 1
+
+    def test_failure_injection(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        client.tasks.failure_prob = 1.0
+        outcome = run_process(
+            sim, broker.tasks.submit(client.advertisement(), "t", ops=5.0)
+        )
+        assert not outcome.ok
+        assert outcome.error == "injected failure"
+        assert client.stats.total.tasks_executed == 1
+        assert client.stats.total.tasks_ok == 0
+
+    def test_fifo_execution_on_single_core(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        finished = []
+
+        def submit(name):
+            out = yield sim.process(
+                broker.tasks.submit(client.advertisement(), name, ops=20.0)
+            )
+            finished.append((name, sim.now))
+
+        def both():
+            p1 = sim.process(submit("first"))
+            p2 = sim.process(submit("second"))
+            yield sim.all_of([p1, p2])
+
+        run_process(sim, both())
+        names = [n for n, _ in sorted(finished, key=lambda x: x[1])]
+        assert names == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancel_running_task(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcomes = []
+
+        def flow():
+            def submit():
+                out = yield sim.process(
+                    broker.tasks.submit(client.advertisement(), "long", ops=500.0)
+                )
+                outcomes.append(out)
+
+            p = sim.process(submit())
+            yield 10.0  # task is now running at the executor
+            task_id = next(iter(client.tasks._executing))
+            broker.tasks.cancel(client.advertisement(), task_id)
+            yield p
+
+        from tests.conftest import run_process
+
+        run_process(sim, flow())
+        out = outcomes[0]
+        assert not out.ok
+        assert "cancel" in out.error
+        # Cancellation arrived long before the 500-ops run time.
+        assert out.round_trip_seconds < 100.0
+        assert client.stats.pending_tasks == 0
+
+    def test_cancel_queued_task_frees_slot(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        outcomes = []
+
+        def flow():
+            def submit(name, ops):
+                out = yield sim.process(
+                    broker.tasks.submit(client.advertisement(), name, ops=ops)
+                )
+                outcomes.append(out)
+
+            p1 = sim.process(submit("running", 200.0))
+            p2 = sim.process(submit("queued", 200.0))
+            yield 5.0
+            # Two tasks at the executor: one running, one queued on CPU.
+            assert len(client.tasks._executing) == 2
+            queued_id = list(client.tasks._executing)[1]
+            broker.tasks.cancel(client.advertisement(), queued_id)
+            yield sim.all_of([p1, p2])
+
+        from tests.conftest import run_process
+
+        run_process(sim, flow())
+        assert len(outcomes) == 2
+        by_ok = {out.ok for out in outcomes}
+        assert by_ok == {True, False}
+        # The CPU slot was not leaked: a fresh task still executes.
+        out = run_process(
+            sim, broker.tasks.submit(client.advertisement(), "after", ops=10.0)
+        )
+        assert out.ok
+
+    def test_cancel_unknown_task_ignored(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        from repro.overlay.ids import IdFactory
+
+        broker.tasks.cancel(client.advertisement(), IdFactory("x").task_id())
+        sim.run(until=sim.now + 1.0)  # nothing blows up

@@ -1,0 +1,61 @@
+"""Fixtures for selection tests: a small star overlay with
+heterogeneous clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.broker import Broker
+from repro.overlay.client import SimpleClient
+from repro.overlay.ids import IdFactory
+from repro.simnet.kernel import Simulator
+from repro.simnet.rng import RandomStreams
+from repro.simnet.topology import NodeSpec, Region, Site, Topology
+from repro.simnet.transport import Network
+
+from tests.conftest import connect
+
+
+def star_topology() -> Topology:
+    """Broker + three clients: fast / medium / slow-lossy."""
+    region = Region("eu")
+    site = Site(name="lab", region=region)
+    topo = Topology()
+
+    def add(hostname, up, overhead, loss=0.0, cpu=1.0):
+        topo.add_node(
+            NodeSpec(
+                hostname=hostname,
+                site=site,
+                cpu_speed=cpu,
+                up_bps=up,
+                down_bps=up,
+                overhead_s=overhead,
+                overhead_cv=0.0,
+                per_mb_loss=loss,
+                load_min_share=1.0,
+                load_max_share=1.0,
+            )
+        )
+
+    add("hub.example", 50e6, 0.005, cpu=2.0)
+    add("fast.example", 8e6, 0.02, cpu=1.5)
+    add("medium.example", 4e6, 0.05, cpu=1.0)
+    add("slow.example", 1e6, 2.0, loss=0.02, cpu=0.5)
+    topo.set_region_rtt("eu", "eu", 0.02)
+    return topo
+
+
+@pytest.fixture
+def star():
+    """(sim, broker, {name: client}) — connected star overlay."""
+    sim = Simulator()
+    net = Network(sim, star_topology(), streams=RandomStreams(17))
+    ids = IdFactory()
+    broker = Broker(net, "hub.example", ids, name="hub")
+    clients = {
+        name: SimpleClient(net, f"{name}.example", ids, name=name)
+        for name in ("fast", "medium", "slow")
+    }
+    connect(sim, broker, *clients.values())
+    return sim, broker, clients

@@ -1,0 +1,72 @@
+"""Tests for the selection interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoCandidatesError
+from repro.selection.base import (
+    PeerSelector,
+    RankedCandidate,
+    SelectionContext,
+    Workload,
+)
+
+
+class TestWorkload:
+    def test_defaults(self):
+        w = Workload()
+        assert w.transfer_bits == 0.0
+        assert w.ops == 0.0
+        assert w.n_parts == 1
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(transfer_bits=-1.0)
+        with pytest.raises(ValueError):
+            Workload(ops=-1.0)
+
+    def test_bad_parts_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(n_parts=0)
+
+    def test_frozen(self):
+        w = Workload(ops=1.0)
+        with pytest.raises(AttributeError):
+            w.ops = 2.0
+
+
+class TestSelectionContext:
+    def test_require_candidates_empty_raises(self):
+        ctx = SelectionContext(broker=None, now=0.0, workload=Workload())
+        with pytest.raises(NoCandidatesError):
+            ctx.require_candidates()
+
+    def test_require_candidates_passthrough(self):
+        ctx = SelectionContext(
+            broker=None, now=0.0, workload=Workload(), candidates=["x"]
+        )
+        assert ctx.require_candidates() == ["x"]
+
+
+class _ConstantSelector(PeerSelector):
+    name = "const"
+
+    def rank(self, context):
+        return [
+            RankedCandidate(score=float(i), record=rec)
+            for i, rec in enumerate(context.require_candidates())
+        ]
+
+
+class TestPeerSelector:
+    def test_select_returns_first_ranked(self):
+        ctx = SelectionContext(
+            broker=None, now=0.0, workload=Workload(), candidates=["a", "b"]
+        )
+        assert _ConstantSelector().select(ctx) == "a"
+
+    def test_select_empty_raises(self):
+        ctx = SelectionContext(broker=None, now=0.0, workload=Workload())
+        with pytest.raises(NoCandidatesError):
+            _ConstantSelector().select(ctx)

@@ -1,0 +1,101 @@
+"""Tests for the data-evaluator (cost) selector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CriteriaError
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.evaluator import DataEvaluatorSelector
+
+
+def ctx_for(sim, broker):
+    return SelectionContext(
+        broker=broker,
+        now=sim.now,
+        workload=Workload(),
+        candidates=broker.candidates(),
+    )
+
+
+class TestConstruction:
+    def test_profile_by_name(self):
+        sel = DataEvaluatorSelector("same_priority")
+        assert sel.profile_name == "same_priority"
+        assert sum(sel.weights.values()) == pytest.approx(1.0)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(CriteriaError):
+            DataEvaluatorSelector("mystery_profile")
+
+    def test_custom_weights(self):
+        sel = DataEvaluatorSelector({"messages_ok_total": 1.0})
+        assert sel.profile_name == "custom"
+        assert sel.weights == {"messages_ok_total": 1.0}
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(CriteriaError):
+            DataEvaluatorSelector(tie_tolerance=-0.1)
+
+
+class TestSelection:
+    def test_best_cost_peer_chosen(self, star):
+        sim, broker, clients = star
+        # Give 'medium' a poor message history at the broker.
+        rec = broker.record(clients["medium"].peer_id)
+        for _ in range(10):
+            rec.interaction.record_message(sim.now, ok=False)
+        sel = DataEvaluatorSelector("same_priority")
+        ranked = sel.rank(ctx_for(sim, broker))
+        assert ranked[-1].record.adv.name == "medium"
+
+    def test_cancellation_history_penalized(self, star):
+        sim, broker, clients = star
+        rec = broker.record(clients["slow"].peer_id)
+        rec.interaction.record_file_attempt(sim.now, ok=False, cancelled=True)
+        sel = DataEvaluatorSelector("transfer_oriented")
+        ranked = sel.rank(ctx_for(sim, broker))
+        assert ranked[-1].record.adv.name == "slow"
+
+    def test_queue_occupancy_penalized(self, star):
+        sim, broker, clients = star
+        rec = broker.record(clients["fast"].peer_id)
+        rec.snapshot["inbox_len_now"] = 10.0
+        rec.snapshot["outbox_len_now"] = 10.0
+        rec.pending_transfers = 5
+        sel = DataEvaluatorSelector("same_priority")
+        top = sel.select(ctx_for(sim, broker))
+        assert top.adv.name != "fast"
+
+    def test_clean_histories_tie_alphabetically(self, star):
+        sim, broker, clients = star
+        sel = DataEvaluatorSelector("same_priority")
+        # All clean: deterministic name order.
+        assert sel.select(ctx_for(sim, broker)).adv.name == "fast"
+
+    def test_utility_exposed(self, star):
+        sim, broker, clients = star
+        sel = DataEvaluatorSelector("same_priority")
+        u = sel.utility({})
+        assert u == pytest.approx(1.0)
+
+
+class TestTieBreakRng:
+    def test_rng_tiebreak_spreads_choices(self, star):
+        sim, broker, clients = star
+        rng = np.random.default_rng(0)
+        sel = DataEvaluatorSelector("same_priority", tiebreak_rng=rng)
+        picks = {sel.select(ctx_for(sim, broker)).adv.name for _ in range(40)}
+        assert len(picks) > 1  # ties resolved randomly
+
+    def test_rng_tiebreak_respects_clear_winner(self, star):
+        sim, broker, clients = star
+        for name in ("medium", "slow"):
+            rec = broker.record(clients[name].peer_id)
+            for _ in range(10):
+                rec.interaction.record_message(sim.now, ok=False)
+        rng = np.random.default_rng(0)
+        sel = DataEvaluatorSelector("same_priority", tiebreak_rng=rng)
+        picks = {sel.select(ctx_for(sim, broker)).adv.name for _ in range(20)}
+        assert picks == {"fast"}

@@ -1,0 +1,86 @@
+"""Tests for the hybrid (evaluator-screened economic) selector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.hybrid import HybridSelector
+from repro.selection.scheduling import SchedulingBasedSelector
+from repro.units import mbit
+
+
+def ctx_for(sim, broker, workload=None):
+    return SelectionContext(
+        broker=broker,
+        now=sim.now,
+        workload=workload or Workload(transfer_bits=mbit(10)),
+        candidates=broker.candidates(),
+    )
+
+
+class TestConstruction:
+    def test_margin_validated(self):
+        with pytest.raises(ValueError):
+            HybridSelector(screen_margin=-0.1)
+        with pytest.raises(ValueError):
+            HybridSelector(screen_margin=1.5)
+
+    def test_name_carries_profile(self):
+        sel = HybridSelector(weights="same_priority")
+        assert "same_priority" in sel.name
+
+
+class TestScreening:
+    def test_clean_history_behaves_like_economic(self, star):
+        sim, broker, clients = star
+        hybrid = HybridSelector(economic=SchedulingBasedSelector(reserve=False))
+        eco = SchedulingBasedSelector(reserve=False)
+        assert (
+            hybrid.select(ctx_for(sim, broker)).adv.name
+            == eco.select(ctx_for(sim, broker)).adv.name
+        )
+
+    def test_unreliable_fast_peer_screened_out(self, star):
+        sim, broker, clients = star
+        # 'fast' is the economic favourite, but its transfer record at
+        # the broker is rotten.
+        rec = broker.record(clients["fast"].peer_id)
+        for _ in range(4):
+            rec.interaction.record_file_attempt(sim.now, ok=False, cancelled=True)
+        hybrid = HybridSelector(economic=SchedulingBasedSelector(reserve=False))
+        pick = hybrid.select(ctx_for(sim, broker))
+        assert pick.adv.name != "fast"
+        # The pure economic model still walks into it.
+        eco = SchedulingBasedSelector(reserve=False)
+        assert eco.select(ctx_for(sim, broker)).adv.name == "fast"
+
+    def test_screened_candidates_ranked_last(self, star):
+        sim, broker, clients = star
+        rec = broker.record(clients["fast"].peer_id)
+        for _ in range(4):
+            rec.interaction.record_file_attempt(sim.now, ok=False, cancelled=True)
+        hybrid = HybridSelector(economic=SchedulingBasedSelector(reserve=False))
+        ranked = hybrid.rank(ctx_for(sim, broker))
+        assert len(ranked) == 3  # nobody disappears
+        assert ranked[-1].record.adv.name == "fast"
+        assert ranked[-1].score == float("inf")
+
+    def test_never_screens_to_empty(self, star):
+        sim, broker, clients = star
+        # Everyone has a terrible record: fall back to the full pool.
+        for client in clients.values():
+            rec = broker.record(client.peer_id)
+            for _ in range(4):
+                rec.interaction.record_file_attempt(
+                    sim.now, ok=False, cancelled=True
+                )
+        hybrid = HybridSelector(economic=SchedulingBasedSelector(reserve=False))
+        pick = hybrid.select(ctx_for(sim, broker))
+        assert pick is not None
+
+    def test_reservation_mirrors_economic(self, star):
+        sim, broker, clients = star
+        hybrid = HybridSelector(economic=SchedulingBasedSelector(reserve=True))
+        pick = hybrid.select(ctx_for(sim, broker))
+        assert pick.busy_until > sim.now

@@ -1,0 +1,82 @@
+"""Tests for the selector recommendation helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.ids import IdFactory
+from repro.selection.base import Workload
+from repro.selection.evaluator import DataEvaluatorSelector
+from repro.selection.hybrid import HybridSelector
+from repro.selection.preference import PreferenceTable, UserPreferenceSelector
+from repro.selection.recommend import AvailableInformation, recommend_selector
+from repro.selection.scheduling import SchedulingBasedSelector
+from repro.units import mbit
+
+TRANSFER = Workload(transfer_bits=mbit(100), n_parts=4)
+EXECUTION = Workload(ops=300.0)
+
+
+class TestRecommendations:
+    def test_full_information_prefers_economic(self):
+        sel = recommend_selector(TRANSFER, AvailableInformation())
+        assert isinstance(sel, SchedulingBasedSelector)
+
+    def test_varied_reliability_prefers_hybrid(self):
+        sel = recommend_selector(
+            TRANSFER, AvailableInformation(reliability_varies=True)
+        )
+        assert isinstance(sel, HybridSelector)
+
+    def test_stats_only_transfer_workload(self):
+        info = AvailableInformation(broker_history=False)
+        sel = recommend_selector(TRANSFER, info)
+        assert isinstance(sel, DataEvaluatorSelector)
+        assert sel.profile_name == "transfer_oriented"
+
+    def test_stats_only_execution_workload(self):
+        info = AvailableInformation(broker_history=False)
+        sel = recommend_selector(EXECUTION, info)
+        assert isinstance(sel, DataEvaluatorSelector)
+        assert sel.profile_name == "task_oriented"
+
+    def test_stats_only_empty_workload_uniform(self):
+        info = AvailableInformation(broker_history=False)
+        sel = recommend_selector(Workload(), info)
+        assert sel.profile_name == "same_priority"
+
+    def test_user_experience_only(self):
+        ids = IdFactory()
+        table = PreferenceTable.explicit([ids.peer_id("a")])
+        info = AvailableInformation(
+            broker_history=False, live_statistics=False, user_experience=True
+        )
+        sel = recommend_selector(TRANSFER, info, user_table=table)
+        assert isinstance(sel, UserPreferenceSelector)
+
+    def test_user_experience_needs_table(self):
+        info = AvailableInformation(user_experience=True)
+        with pytest.raises(ValueError, match="preference table"):
+            recommend_selector(TRANSFER, info)
+
+    def test_no_information_rejected(self):
+        info = AvailableInformation(
+            broker_history=False, live_statistics=False, user_experience=False
+        )
+        with pytest.raises(ValueError, match="no information"):
+            recommend_selector(TRANSFER, info)
+
+
+class TestRecommendationsWork:
+    def test_recommended_selector_selects(self, star):
+        sim, broker, clients = star
+        from repro.selection.base import SelectionContext
+
+        sel = recommend_selector(TRANSFER, AvailableInformation())
+        ctx = SelectionContext(
+            broker=broker,
+            now=sim.now,
+            workload=TRANSFER,
+            candidates=broker.candidates(),
+        )
+        assert sel.select(ctx).adv.name in {"fast", "medium", "slow"}

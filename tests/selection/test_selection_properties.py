@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for selection invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection.criteria import (
+    WEIGHT_PROFILES,
+    criterion_utility,
+    evaluate_snapshot,
+    normalize_weights,
+)
+
+shares = st.floats(min_value=0.0, max_value=1.0)
+queue_lens = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestCriteriaMonotonicity:
+    @given(shares, shares)
+    @settings(max_examples=80, deadline=None)
+    def test_success_share_monotone(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        u_lo = criterion_utility(
+            "messages_ok_total", {"pct_messages_ok_total": lo}
+        )
+        u_hi = criterion_utility(
+            "messages_ok_total", {"pct_messages_ok_total": hi}
+        )
+        assert u_lo <= u_hi
+
+    @given(queue_lens, queue_lens)
+    @settings(max_examples=80, deadline=None)
+    def test_queue_length_antitone(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        u_lo = criterion_utility("inbox_now", {"inbox_len_now": lo})
+        u_hi = criterion_utility("inbox_now", {"inbox_len_now": hi})
+        assert u_lo >= u_hi
+
+    @given(shares, shares)
+    @settings(max_examples=80, deadline=None)
+    def test_cancellation_share_antitone(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        u_lo = criterion_utility(
+            "transfers_cancelled_total", {"pct_transfers_cancelled_total": lo}
+        )
+        u_hi = criterion_utility(
+            "transfers_cancelled_total", {"pct_transfers_cancelled_total": hi}
+        )
+        assert u_lo >= u_hi
+
+
+class TestEvaluatorDominance:
+    @given(
+        st.fixed_dictionaries(
+            {
+                "pct_messages_ok_total": shares,
+                "pct_files_sent_total": shares,
+                "inbox_len_now": queue_lens,
+            }
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pareto_dominated_snapshot_never_scores_higher(self, snap):
+        """Degrading any criterion input cannot raise the utility."""
+        weights = normalize_weights(WEIGHT_PROFILES["same_priority"])
+        base = evaluate_snapshot(snap, weights)
+        worse = dict(snap)
+        worse["pct_messages_ok_total"] = snap["pct_messages_ok_total"] * 0.5
+        worse["inbox_len_now"] = snap["inbox_len_now"] + 5.0
+        assert evaluate_snapshot(worse, weights) <= base + 1e-12
+
+    @given(st.dictionaries(
+        st.sampled_from(sorted(WEIGHT_PROFILES["same_priority"])),
+        st.floats(min_value=0.0, max_value=10.0),
+        min_size=1,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_weights_sum_to_one(self, raw):
+        if all(v == 0.0 for v in raw.values()):
+            return  # rejected elsewhere
+        weights = normalize_weights(raw)
+        assert abs(sum(weights.values()) - 1.0) < 1e-9
+        assert all(v > 0 for v in weights.values())

@@ -1,0 +1,96 @@
+"""Tests for bandwidth models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.bandwidth import (
+    ConstantBandwidth,
+    ContendedBandwidth,
+    DiurnalBandwidth,
+)
+from repro.simnet.rng import RandomStreams
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(seed=11).get("bw-tests")
+
+
+class TestConstantBandwidth:
+    def test_rate_constant(self):
+        m = ConstantBandwidth(1e6)
+        assert m.rate_at(0.0) == 1e6
+        assert m.rate_at(1e5) == 1e6
+        assert m.mean_rate() == 1e6
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(0.0)
+
+
+class TestContendedBandwidth:
+    def test_rate_within_share_bounds(self, rng):
+        m = ContendedBandwidth(10e6, rng, min_share=0.2, max_share=0.8)
+        rates = [m.rate_at(t) for t in range(0, 3000, 13)]
+        assert all(10e6 * 0.2 * 0.99 <= r <= 10e6 * 0.8 * 1.01 for r in rates)
+
+    def test_constant_within_epoch(self, rng):
+        m = ContendedBandwidth(10e6, rng, period=30.0)
+        assert m.rate_at(40.0) == m.rate_at(55.0)
+
+    def test_changes_across_epochs(self, rng):
+        m = ContendedBandwidth(10e6, rng, period=30.0)
+        rates = {m.rate_at(30.0 * k) for k in range(40)}
+        assert len(rates) > 5
+
+    def test_mean_rate(self, rng):
+        m = ContendedBandwidth(10e6, rng, min_share=0.4, max_share=0.8)
+        assert m.mean_rate() == pytest.approx(10e6 * 0.6)
+
+    def test_monotonic_time_queries_consistent(self, rng):
+        # Queries at increasing times within the same epoch agree.
+        m = ContendedBandwidth(5e6, rng, period=10.0)
+        r1 = m.rate_at(95.0)
+        r2 = m.rate_at(99.9)
+        assert r1 == r2
+
+    def test_negative_time_rejected(self, rng):
+        m = ContendedBandwidth(1e6, rng)
+        with pytest.raises(ValueError):
+            m.rate_at(-1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ContendedBandwidth(0.0, rng)
+        with pytest.raises(ValueError):
+            ContendedBandwidth(1e6, rng, min_share=0.0)
+        with pytest.raises(ValueError):
+            ContendedBandwidth(1e6, rng, min_share=0.9, max_share=0.5)
+        with pytest.raises(ValueError):
+            ContendedBandwidth(1e6, rng, period=0.0)
+        with pytest.raises(ValueError):
+            ContendedBandwidth(1e6, rng, alpha=0.0)
+
+
+class TestDiurnalBandwidth:
+    def test_dips_at_peak(self):
+        m = DiurnalBandwidth(ConstantBandwidth(1e6), depth=0.4, peak_offset=0.0)
+        at_peak = m.rate_at(DiurnalBandwidth.DAY / 2)  # trough of cosine
+        off_peak = m.rate_at(0.0)
+        assert at_peak == pytest.approx(1e6 * 0.6)
+        assert off_peak == pytest.approx(1e6)
+
+    def test_mean_rate(self):
+        m = DiurnalBandwidth(ConstantBandwidth(1e6), depth=0.4)
+        assert m.mean_rate() == pytest.approx(1e6 * 0.8)
+
+    def test_zero_depth_is_identity(self):
+        m = DiurnalBandwidth(ConstantBandwidth(2e6), depth=0.0)
+        assert m.rate_at(12345.0) == pytest.approx(2e6)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalBandwidth(ConstantBandwidth(1e6), depth=1.0)
+        with pytest.raises(ValueError):
+            DiurnalBandwidth(ConstantBandwidth(1e6), depth=-0.1)

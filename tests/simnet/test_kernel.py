@@ -1,0 +1,495 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ProcessInterrupted,
+    SchedulingInPastError,
+    SimStopped,
+    SimulationError,
+)
+from repro.simnet.kernel import Event, Resource, Simulator, Store, Timeout
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed(41)
+        assert ev.triggered and ev.ok
+        assert ev.value == 41
+
+    def test_succeed_twice_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_after_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_unobserved_failure_surfaces_in_run(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_observed_failure_does_not_surface(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.fail(RuntimeError("boom"))
+        sim.run()
+        assert isinstance(seen[0], RuntimeError)
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        t = sim.timeout(2.5)
+        sim.run()
+        assert sim.now == pytest.approx(2.5)
+        assert t.processed
+
+    def test_zero_delay_ok(self, sim):
+        sim.timeout(0.0)
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingInPastError):
+            sim.timeout(-1.0)
+
+    def test_carries_value(self, sim):
+        t = sim.timeout(1.0, value="ping")
+        sim.run()
+        assert t.value == "ping"
+
+
+class TestProcess:
+    def test_yield_number_sleeps(self, sim):
+        def proc():
+            yield 1.0
+            yield 2.0
+            return sim.now
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == pytest.approx(3.0)
+
+    def test_return_value(self, sim):
+        def proc():
+            yield 0.1
+            return "done"
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == "done"
+
+    def test_yield_event_receives_value(self, sim):
+        ev = sim.event()
+
+        def trigger():
+            yield 1.0
+            ev.succeed(123)
+
+        def waiter():
+            got = yield ev
+            return got
+
+        sim.process(trigger())
+        p = sim.process(waiter())
+        assert sim.run(until=p) == 123
+
+    def test_wait_for_child_process(self, sim):
+        def child():
+            yield 2.0
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return result
+
+        p = sim.process(parent())
+        assert sim.run(until=p) == "child-result"
+
+    def test_exception_in_process_fails_it(self, sim):
+        def proc():
+            yield 1.0
+            raise ValueError("inside")
+
+        p = sim.process(proc())
+        with pytest.raises(ValueError, match="inside"):
+            sim.run(until=p)
+
+    def test_failed_event_raises_at_yield(self, sim):
+        ev = sim.event()
+
+        def failer():
+            yield 0.5
+            ev.fail(RuntimeError("late failure"))
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        sim.process(failer())
+        p = sim.process(waiter())
+        assert sim.run(until=p) == "caught late failure"
+
+    def test_yield_unsupported_type_raises(self, sim):
+        def proc():
+            yield "nonsense"
+
+        p = sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run(until=p)
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_is_alive_transitions(self, sim):
+        def proc():
+            yield 1.0
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_already_processed_event_resumes_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()  # process the event fully
+
+        def waiter():
+            got = yield ev
+            return got
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == "early"
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside(self, sim):
+        def victim():
+            try:
+                yield 100.0
+            except ProcessInterrupted as exc:
+                return ("interrupted", exc.cause)
+
+        def attacker(p):
+            yield 1.0
+            p.interrupt("reason")
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        assert sim.run(until=v) == ("interrupted", "reason")
+        assert sim.now == pytest.approx(1.0)
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def victim():
+            yield 0.1
+
+        v = sim.process(victim())
+        sim.run()
+        with pytest.raises(SimulationError):
+            v.interrupt()
+
+    def test_self_interrupt_rejected(self, sim):
+        def victim():
+            yield 0.0
+            me = sim.active_process
+            me.interrupt()
+            yield 1.0
+
+        v = sim.process(victim())
+        with pytest.raises(SimulationError):
+            sim.run(until=v)
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def victim():
+            yield 100.0
+
+        def attacker(p):
+            yield 1.0
+            p.interrupt()
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        with pytest.raises(ProcessInterrupted):
+            sim.run(until=v)
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, sim):
+        def proc():
+            fast = sim.timeout(1.0, value="fast")
+            slow = sim.timeout(5.0, value="slow")
+            got = yield sim.any_of([fast, slow])
+            return (sim.now, fast in got, slow in got)
+
+        p = sim.process(proc())
+        now, has_fast, has_slow = sim.run(until=p)
+        assert now == pytest.approx(1.0)
+        assert has_fast and not has_slow
+
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            a = sim.timeout(1.0, value="a")
+            b = sim.timeout(3.0, value="b")
+            got = yield sim.all_of([a, b])
+            return (sim.now, len(got))
+
+        p = sim.process(proc())
+        now, n = sim.run(until=p)
+        assert now == pytest.approx(3.0)
+        assert n == 2
+
+    def test_empty_all_of_succeeds_immediately(self, sim):
+        cond = sim.all_of([])
+        assert cond.triggered
+
+    def test_any_of_failure_propagates(self, sim):
+        ev = sim.event()
+
+        def failer():
+            yield 0.5
+            ev.fail(RuntimeError("bad"))
+
+        def waiter():
+            yield sim.any_of([ev, sim.timeout(10.0)])
+
+        sim.process(failer())
+        p = sim.process(waiter())
+        with pytest.raises(RuntimeError, match="bad"):
+            sim.run(until=p)
+
+    def test_cross_simulator_event_rejected(self, sim):
+        other = Simulator()
+        ev = other.event()
+        with pytest.raises(SimulationError):
+            sim.any_of([ev, sim.timeout(1.0)])
+
+
+class TestRunControls:
+    def test_run_until_time_stops_clock(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=5.0)
+        assert sim.now == pytest.approx(5.0)
+        assert sim.pending_events == 1
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SchedulingInPastError):
+            sim.run(until=0.5)
+
+    def test_run_drains_agenda(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.now == pytest.approx(2.0)
+
+    def test_stop_halts_run(self, sim):
+        def stopper():
+            yield 1.0
+            sim.stop()
+
+        sim.process(stopper())
+        sim.timeout(100.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_run_until_event_on_stop_raises(self, sim):
+        ev = sim.event()
+
+        def stopper():
+            yield 1.0
+            sim.stop()
+
+        sim.process(stopper())
+        with pytest.raises(SimStopped):
+            sim.run(until=ev)
+
+    def test_run_until_untriggerable_event_raises(self, sim):
+        ev = sim.event()
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=ev)
+
+    def test_peek_reports_next_event_time(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(4.2)
+        assert sim.peek() == pytest.approx(4.2)
+
+    def test_step_on_empty_agenda_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_call_at_runs_callback(self, sim):
+        seen = []
+        sim.call_at(2.0, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_call_in_relative(self, sim):
+        seen = []
+
+        def proc():
+            yield 1.0
+            sim.call_in(2.0, lambda: seen.append(sim.now))
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [pytest.approx(3.0)]
+
+    def test_call_at_in_past_raises(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SchedulingInPastError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_equal_time_events_fifo(self, sim):
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.call_at(1.0, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        g1, g2 = res.request(), res.request()
+        assert g1.triggered and g2.triggered
+        g3 = res.request()
+        assert not g3.triggered
+        assert res.queued == 1
+
+    def test_release_wakes_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        w1 = res.request()
+        w2 = res.request()
+        res.release()
+        assert w1.triggered and not w2.triggered
+        res.release()
+        assert w2.triggered
+
+    def test_release_without_request_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_available_accounting(self, sim):
+        res = Resource(sim, capacity=3)
+        assert res.available == 3
+        res.request()
+        assert res.available == 2
+        assert res.in_use == 1
+
+    def test_serializes_processes(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            grant = res.request()
+            yield grant
+            log.append((name, "start", sim.now))
+            yield hold
+            log.append((name, "end", sim.now))
+            res.release()
+
+        sim.process(worker("w1", 2.0))
+        sim.process(worker("w2", 1.0))
+        sim.run()
+        assert log == [
+            ("w1", "start", 0.0),
+            ("w1", "end", 2.0),
+            ("w2", "start", 2.0),
+            ("w2", "end", 3.0),
+        ]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        ev = store.get()
+        assert ev.triggered and ev.value == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        ev = store.get()
+        assert not ev.triggered
+        store.put(7)
+        assert ev.triggered and ev.value == 7
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_len_and_snapshot(self, sim):
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.items_snapshot() == ("a", "b")
+
+    def test_waiting_getters_counted(self, sim):
+        store = Store(sim)
+        store.get()
+        store.get()
+        assert store.waiting_getters == 2
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def proc(name, delay):
+                yield delay
+                trace.append((name, sim.now))
+                yield delay
+                trace.append((name, sim.now))
+
+            sim.process(proc("a", 1.0))
+            sim.process(proc("b", 1.0))
+            sim.process(proc("c", 0.5))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,184 @@
+"""Edge-case tests for the DES kernel (beyond the basics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProcessInterrupted, SimulationError
+from repro.simnet.kernel import Simulator
+
+
+class TestCallbackReentrancy:
+    def test_call_at_from_inside_callback(self, sim):
+        order = []
+
+        def second():
+            order.append(("second", sim.now))
+
+        def first():
+            order.append(("first", sim.now))
+            sim.call_in(1.0, second)
+
+        sim.call_at(1.0, first)
+        sim.run()
+        assert order == [("first", 1.0), ("second", 2.0)]
+
+    def test_event_triggered_from_callback(self, sim):
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        sim.process(waiter())
+        sim.call_at(3.0, lambda: ev.succeed("from-callback"))
+        sim.run()
+        assert got == ["from-callback"]
+
+    def test_process_spawned_from_callback(self, sim):
+        results = []
+
+        def child():
+            yield 1.0
+            results.append(sim.now)
+
+        sim.call_at(2.0, lambda: sim.process(child()))
+        sim.run()
+        assert results == [pytest.approx(3.0)]
+
+
+class TestConditionEdgeCases:
+    def test_all_of_with_pre_processed_events(self, sim):
+        a, b = sim.event(), sim.event()
+        a.succeed(1)
+        b.succeed(2)
+        sim.run()  # both processed
+        cond = sim.all_of([a, b])
+        assert cond.triggered
+        assert set(cond.value.values()) == {1, 2}
+
+    def test_any_of_with_one_pre_processed(self, sim):
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+        pending = sim.event()
+        cond = sim.any_of([done, pending])
+        assert cond.triggered
+        assert cond.value == {done: "early"}
+
+    def test_nested_conditions(self, sim):
+        def proc():
+            inner = sim.all_of([sim.timeout(1.0), sim.timeout(2.0)])
+            outer = yield sim.any_of([inner, sim.timeout(10.0)])
+            return sim.now
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == pytest.approx(2.0)
+
+    def test_all_of_fails_fast(self, sim):
+        slow = sim.timeout(100.0)
+        ev = sim.event()
+
+        def failer():
+            yield 1.0
+            ev.fail(RuntimeError("nope"))
+
+        def waiter():
+            yield sim.all_of([slow, ev])
+
+        sim.process(failer())
+        p = sim.process(waiter())
+        with pytest.raises(RuntimeError):
+            sim.run(until=p)
+        assert sim.now == pytest.approx(1.0)  # did not wait for `slow`
+
+
+class TestInterruptEdgeCases:
+    def test_interrupt_before_first_resume(self, sim):
+        def victim():
+            try:
+                yield 100.0
+            except ProcessInterrupted:
+                return "early-interrupt"
+
+        v = sim.process(victim())
+        # Interrupt in the same instant, before the process first runs.
+        v.interrupt("immediately")
+        assert sim.run(until=v) == "early-interrupt"
+
+    def test_interrupted_process_can_keep_working(self, sim):
+        def victim():
+            try:
+                yield 100.0
+            except ProcessInterrupted:
+                pass
+            yield 5.0  # continues after handling the interrupt
+            return sim.now
+
+        def attacker(p):
+            yield 1.0
+            p.interrupt()
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        assert sim.run(until=v) == pytest.approx(6.0)
+
+    def test_double_interrupt_delivers_twice(self, sim):
+        hits = []
+
+        def victim():
+            for _ in range(2):
+                try:
+                    yield 100.0
+                except ProcessInterrupted as exc:
+                    hits.append(exc.cause)
+            return hits
+
+        def attacker(p):
+            yield 1.0
+            p.interrupt("one")
+            yield 1.0
+            p.interrupt("two")
+
+        v = sim.process(victim())
+        sim.process(attacker(v))
+        assert sim.run(until=v) == ["one", "two"]
+
+
+class TestClockDiscipline:
+    def test_zero_delay_events_run_in_fifo_order(self, sim):
+        order = []
+
+        def proc(tag):
+            yield 0.0
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_stable_during_callbacks(self, sim):
+        stamps = []
+        for _ in range(3):
+            sim.call_at(5.0, lambda: stamps.append(sim.now))
+        sim.run()
+        assert stamps == [5.0, 5.0, 5.0]
+
+    def test_run_twice_resumes_where_left(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(3.0)
+        sim.run(until=2.0)
+        assert sim.now == pytest.approx(2.0)
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+
+    def test_float_precision_many_small_steps(self, sim):
+        def proc():
+            for _ in range(10_000):
+                yield 0.001
+            return sim.now
+
+        p = sim.process(proc())
+        assert sim.run(until=p) == pytest.approx(10.0, rel=1e-9)

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the DES kernel."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.kernel import Resource, Simulator, Store
+
+delays = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+class TestTimeOrdering:
+    @given(st.lists(delays, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_callbacks_fire_in_nondecreasing_time(self, ds):
+        sim = Simulator()
+        fired = []
+        for d in ds:
+            sim.call_at(d, lambda t=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ds)
+
+    @given(st.lists(delays, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_clock_ends_at_max_delay(self, ds):
+        sim = Simulator()
+        for d in ds:
+            sim.timeout(d)
+        sim.run()
+        assert sim.now == max(ds)
+
+    @given(st.lists(delays, min_size=1, max_size=20), delays)
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_never_overshoots(self, ds, horizon):
+        sim = Simulator()
+        for d in ds:
+            sim.timeout(d)
+        sim.run(until=horizon)
+        assert sim.now <= max(horizon, 0.0) + 1e-9
+
+
+class TestProcessProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_delays_sum(self, ds):
+        sim = Simulator()
+
+        def proc():
+            for d in ds:
+                yield d
+            return sim.now
+
+        p = sim.process(proc())
+        assert abs(sim.run(until=p) - sum(ds)) < 1e-6 * max(1.0, sum(ds))
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=2, max_size=10)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_parallel_processes_end_at_max(self, ds):
+        sim = Simulator()
+
+        def proc(d):
+            yield d
+
+        for d in ds:
+            sim.process(proc(d))
+        sim.run()
+        assert sim.now == max(ds)
+
+
+class TestResourceProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_exceeded(self, capacity, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        concurrency = []
+
+        def worker(hold):
+            yield res.request()
+            concurrency.append(res.in_use)
+            yield hold
+            res.release()
+
+        for h in holds:
+            sim.process(worker(h))
+        sim.run()
+        assert max(concurrency) <= capacity
+        assert len(concurrency) == len(holds)  # everyone eventually ran
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=15))
+    @settings(max_examples=40, deadline=None)
+    def test_all_slots_freed_at_end(self, capacity, n_workers):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+
+        def worker():
+            yield res.request()
+            yield 1.0
+            res.release()
+
+        for _ in range(n_workers):
+            sim.process(worker())
+        sim.run()
+        assert res.in_use == 0
+        assert res.queued == 0
+
+
+class TestStoreProperties:
+    @given(st.lists(st.integers(), min_size=0, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_preserves_sequence(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        for item in items:
+            store.put(item)
+        out = [store.get().value for _ in items]
+        assert out == items
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_getters_before_puts_fifo(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        events = [store.get() for _ in items]
+        for item in items:
+            store.put(item)
+        sim.run()
+        assert [e.value for e in events] == items

@@ -1,0 +1,132 @@
+"""Tests for graph-based site routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoRouteError
+from repro.simnet.routing import SiteGraph
+from repro.simnet.topology import NodeSpec, Region, Site, Topology
+
+
+@pytest.fixture
+def triangle() -> SiteGraph:
+    """eu -- us (0.05), eu -- asia (0.12), us -- asia (0.08)."""
+    g = SiteGraph()
+    g.add_links(
+        [("eu", "us", 0.05), ("eu", "asia", 0.12), ("us", "asia", 0.08)]
+    )
+    return g
+
+
+class TestConstruction:
+    def test_add_link_validates(self):
+        g = SiteGraph()
+        with pytest.raises(ValueError):
+            g.add_link("a", "a", 0.1)
+        with pytest.raises(ValueError):
+            g.add_link("a", "b", 0.0)
+        with pytest.raises(ValueError):
+            g.add_site("")
+
+    def test_sites_sorted(self, triangle):
+        assert triangle.sites() == ("asia", "eu", "us")
+        assert len(triangle) == 3
+
+
+class TestShortestPaths:
+    def test_direct_link(self, triangle):
+        assert triangle.one_way_latency("eu", "us") == pytest.approx(0.05)
+        assert triangle.rtt("eu", "us") == pytest.approx(0.10)
+
+    def test_multi_hop_when_cheaper(self):
+        g = SiteGraph()
+        g.add_links(
+            [("a", "b", 0.01), ("b", "c", 0.01), ("a", "c", 0.10)]
+        )
+        assert g.one_way_latency("a", "c") == pytest.approx(0.02)
+        assert g.path("a", "c") == ("a", "b", "c")
+
+    def test_self_latency_zero(self, triangle):
+        assert triangle.one_way_latency("eu", "eu") == 0.0
+        assert triangle.path("eu", "eu") == ("eu",)
+
+    def test_symmetric(self, triangle):
+        assert triangle.one_way_latency("us", "asia") == triangle.one_way_latency(
+            "asia", "us"
+        )
+
+    def test_unknown_site_raises(self, triangle):
+        with pytest.raises(NoRouteError):
+            triangle.one_way_latency("eu", "mars")
+
+    def test_cache_consistent_after_reweight(self, triangle):
+        assert triangle.one_way_latency("eu", "us") == pytest.approx(0.05)
+        triangle.add_link("eu", "us", 0.20)  # re-weight invalidates cache
+        # Now the cheaper route goes via asia: 0.12 + 0.08 = 0.20 == direct.
+        assert triangle.one_way_latency("eu", "us") == pytest.approx(0.20)
+
+
+class TestLinkFailures:
+    def test_failure_reroutes(self, triangle):
+        triangle.fail_link("eu", "us")
+        assert not triangle.link_is_up("eu", "us")
+        # Reroute via asia: 0.12 + 0.08.
+        assert triangle.one_way_latency("eu", "us") == pytest.approx(0.20)
+        assert triangle.path("eu", "us") == ("eu", "asia", "us")
+
+    def test_restore_recovers_direct_path(self, triangle):
+        triangle.fail_link("eu", "us")
+        triangle.restore_link("eu", "us")
+        assert triangle.one_way_latency("eu", "us") == pytest.approx(0.05)
+
+    def test_partition_raises(self):
+        g = SiteGraph()
+        g.add_link("a", "b", 0.01)
+        g.add_link("c", "d", 0.01)
+        with pytest.raises(NoRouteError):
+            g.one_way_latency("a", "c")
+
+    def test_fail_unknown_link_raises(self, triangle):
+        with pytest.raises(NoRouteError):
+            triangle.fail_link("eu", "mars")
+
+
+class TestTopologyIntegration:
+    def _topo_with_router(self) -> Topology:
+        eu, us = Region("eu"), Region("us")
+        topo = Topology()
+        topo.add_node(
+            NodeSpec(hostname="a", site=Site(name="s1", region=eu))
+        )
+        topo.add_node(
+            NodeSpec(hostname="b", site=Site(name="s2", region=us))
+        )
+        topo.set_region_rtt("eu", "eu", 0.01)
+        router = SiteGraph()
+        router.add_link("eu", "us", 0.045)
+        topo.set_router(router)
+        return topo
+
+    def test_router_supplies_inter_region_rtt(self):
+        topo = self._topo_with_router()
+        assert topo.base_rtt("a", "b") == pytest.approx(0.09)
+
+    def test_intra_region_stays_table_driven(self):
+        topo = self._topo_with_router()
+        topo.add_node(
+            NodeSpec(
+                hostname="a2",
+                site=Site(name="s3", region=Region("eu")),
+            )
+        )
+        assert topo.base_rtt("a", "a2") == pytest.approx(0.01)
+
+    def test_link_failure_changes_paths_live(self):
+        topo = self._topo_with_router()
+        router = topo.router
+        router.add_link("eu", "relay", 0.06)
+        router.add_link("relay", "us", 0.06)
+        assert topo.base_rtt("a", "b") == pytest.approx(0.09)
+        router.fail_link("eu", "us")
+        assert topo.base_rtt("a", "b") == pytest.approx(0.24)

@@ -1,0 +1,325 @@
+"""Tests for the live transport layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HostDownError, TransferAborted
+from repro.simnet.kernel import Simulator
+from repro.simnet.rng import RandomStreams
+from repro.simnet.trace import Tracer
+from repro.simnet.transport import Network
+from repro.units import mbit
+
+from tests.conftest import make_two_node_topology, run_process
+
+
+class Ping:
+    pass
+
+
+class Pong:
+    pass
+
+
+class TestControlMessages:
+    def test_delivery_latency_includes_path_and_overhead(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        got = {}
+        b.on_message(Ping, lambda dg: got.update(t=dg.latency))
+        a.send(b, Ping())
+        sim.run()
+        # one-way 0.01 (rtt 0.02) + overhead 0.05 (deterministic cv=0).
+        assert got["t"] == pytest.approx(0.06, abs=1e-6)
+
+    def test_light_messages_use_bound_handling(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        got = {}
+        b.on_message(Ping, lambda dg: got.update(t=dg.latency))
+        a.send(b, Ping(), light=True)
+        sim.run()
+        # bound handling default 0.02 mean with jitter; well under the
+        # 0.05 heavy overhead.
+        assert got["t"] < 0.05
+
+    def test_unhandled_payload_lands_in_inbox(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        a.send(b, Pong())
+        sim.run()
+        assert len(b.inbox) == 1
+
+    def test_send_to_self_has_no_path_latency(self, network, sim):
+        a = network.host("a.example")
+        got = {}
+        a.on_message(Ping, lambda dg: got.update(t=dg.latency))
+        a.send(a, Ping())
+        sim.run()
+        assert got["t"] == pytest.approx(0.01, abs=1e-6)  # overhead only
+
+    def test_down_receiver_drops(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        b.crash()
+        a.send(b, Ping())
+        sim.run()
+        assert b.messages_received == 0
+
+    def test_down_sender_raises(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        a.crash()
+        with pytest.raises(HostDownError):
+            a.send(b, Ping())
+
+    def test_recover_restores_delivery(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        b.crash()
+        b.recover()
+        a.send(b, Ping())
+        sim.run()
+        assert b.messages_received == 1
+
+    def test_counters(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        for _ in range(3):
+            a.send(b, Ping())
+        sim.run()
+        assert a.messages_sent == 3
+        assert b.messages_received == 3
+
+    def test_lossy_path_drops_some_messages(self):
+        sim = Simulator()
+        topo = make_two_node_topology(loss_b=0.3)
+        net = Network(sim, topo, streams=RandomStreams(5))
+        a, b = net.host("a.example"), net.host("b.example")
+        # Large control payloads make per-unit loss significant.
+        for _ in range(200):
+            a.send(b, Ping(), size_bits=mbit(2))
+        sim.run()
+        assert 0 < b.messages_received < 200
+
+
+class TestFlows:
+    def test_single_flow_duration(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        done = a.start_flow(b, mbit(10))
+        sim.run(until=done)
+        # 10 Mb over a 10 Mbps bottleneck (full share) = 1 s.
+        assert sim.now == pytest.approx(1.0, rel=0.01)
+
+    def test_two_flows_share_bottleneck(self):
+        sim = Simulator()
+        topo = make_two_node_topology()
+        net = Network(sim, topo, streams=RandomStreams(5))
+        a, b = net.host("a.example"), net.host("b.example")
+        d1 = a.start_flow(b, mbit(10))
+        d2 = a.start_flow(b, mbit(10))
+        sim.run(until=sim.all_of([d1, d2]))
+        # Two equal flows over 10 Mbps: each effectively 5 Mbps -> 2 s.
+        assert sim.now == pytest.approx(2.0, rel=0.02)
+
+    def test_short_flow_departure_speeds_up_survivor(self):
+        sim = Simulator()
+        topo = make_two_node_topology()
+        net = Network(sim, topo, streams=RandomStreams(5))
+        a, b = net.host("a.example"), net.host("b.example")
+        big = a.start_flow(b, mbit(15))
+        small = a.start_flow(b, mbit(5))
+        sim.run(until=small)
+        t_small = sim.now
+        sim.run(until=big)
+        t_big = sim.now
+        # small: shares 5 Mbps until done at 1 s; big then gets 10 Mbps:
+        # 15 Mb = 5 shared (1 s) + 10 alone (1 s) = 2 s.
+        assert t_small == pytest.approx(1.0, rel=0.02)
+        assert t_big == pytest.approx(2.0, rel=0.02)
+
+    def test_flow_rate_limited_by_slower_end(self):
+        sim = Simulator()
+        topo = make_two_node_topology(up_a=10e6, up_b=2e6)
+        net = Network(sim, topo, streams=RandomStreams(5))
+        a, b = net.host("a.example"), net.host("b.example")
+        done = a.start_flow(b, mbit(10))
+        sim.run(until=done)
+        assert sim.now == pytest.approx(5.0, rel=0.02)  # 2 Mbps bottleneck
+
+    def test_flow_size_validation(self, network):
+        a, b = network.host("a.example"), network.host("b.example")
+        with pytest.raises(ValueError):
+            a.start_flow(b, 0.0)
+
+    def test_flow_from_down_host_raises(self, network):
+        a, b = network.host("a.example"), network.host("b.example")
+        a.crash()
+        with pytest.raises(HostDownError):
+            a.start_flow(b, mbit(1))
+
+    def test_flow_to_down_host_streams_into_the_void(self, network, sim):
+        # The sender cannot know the receiver died: the flow completes,
+        # but a reliable transfer never succeeds (unit lost every attempt).
+        a, b = network.host("a.example"), network.host("b.example")
+        b.crash()
+        p = sim.process(a.reliable_transfer(b, mbit(1), max_attempts=3))
+        with pytest.raises(TransferAborted):
+            sim.run(until=p)
+        assert b.bits_received == 0.0
+
+    def test_active_flow_count(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        a.start_flow(b, mbit(10))
+        assert network.flows.active_flows == 1
+        sim.run()
+        assert network.flows.active_flows == 0
+
+
+class TestReliableTransfer:
+    def test_lossless_single_attempt(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        report = run_process(sim, a.reliable_transfer(b, mbit(10)))
+        assert report.attempts == 1
+        assert report.wasted_bits == 0.0
+        assert report.duration == pytest.approx(1.0, rel=0.02)
+        assert report.goodput_bps == pytest.approx(10e6, rel=0.05)
+
+    def test_lossy_path_retries(self):
+        sim = Simulator()
+        topo = make_two_node_topology(loss_b=0.05)
+        net = Network(sim, topo, streams=RandomStreams(3))
+        a, b = net.host("a.example"), net.host("b.example")
+        report = run_process(sim, a.reliable_transfer(b, mbit(50)))
+        assert report.attempts > 1
+        assert report.wasted_bits == mbit(50) * (report.attempts - 1)
+
+    def test_retry_budget_exhaustion(self):
+        sim = Simulator()
+        topo = make_two_node_topology(loss_b=0.5)
+        net = Network(sim, topo, streams=RandomStreams(3))
+        a, b = net.host("a.example"), net.host("b.example")
+        with pytest.raises(TransferAborted):
+            run_process(sim, a.reliable_transfer(b, mbit(100), max_attempts=3))
+
+    def test_bits_accounting(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        run_process(sim, a.reliable_transfer(b, mbit(10)))
+        assert a.bits_sent == mbit(10)
+        assert b.bits_received == mbit(10)
+
+    def test_max_attempts_validation(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        gen = a.reliable_transfer(b, mbit(1), max_attempts=0)
+        p = sim.process(gen)
+        with pytest.raises(ValueError):
+            sim.run(until=p)
+
+
+class TestCompute:
+    def test_duration_scales_with_ops(self, network, sim):
+        a = network.host("a.example")
+        d1 = run_process(sim, a.compute(10.0))
+        d2 = run_process(sim, a.compute(20.0))
+        assert d2 == pytest.approx(2 * d1, rel=0.01)
+
+    def test_cpu_fifo_queueing(self, network, sim):
+        a = network.host("a.example")
+        ends = []
+
+        def task(ops):
+            yield sim.process(a.compute(ops))
+            ends.append(sim.now)
+
+        sim.process(task(10.0))
+        sim.process(task(10.0))
+        sim.run()
+        # Single core: second task ends at ~2x the first.
+        assert ends[1] == pytest.approx(2 * ends[0], rel=0.01)
+
+    def test_planned_estimate_close_to_actual_mean(self, network, sim):
+        a = network.host("a.example")
+        actual = run_process(sim, a.compute(30.0))
+        planned = a.planned_compute_seconds(30.0)
+        # load shares pinned to 1.0 in this topology -> exact match.
+        assert actual == pytest.approx(planned, rel=0.01)
+
+    def test_negative_ops_rejected(self, network, sim):
+        a = network.host("a.example")
+        p = sim.process(a.compute(-1.0))
+        with pytest.raises(ValueError):
+            sim.run(until=p)
+
+
+class TestNetwork:
+    def test_host_created_once(self, network):
+        assert network.host("a.example") is network.host("a.example")
+
+    def test_boot_all(self, network):
+        hosts = network.boot_all()
+        assert {h.hostname for h in hosts} == {"a.example", "b.example"}
+
+    def test_tracer_records_messages(self, network, sim):
+        a, b = network.host("a.example"), network.host("b.example")
+        a.send(b, Ping())
+        sim.run()
+        kinds = {e.kind for e in network.tracer}
+        assert "msg-send" in kinds and "msg-recv" in kinds
+
+
+class TestScheduledOutage:
+    def test_outage_window_crashes_and_recovers(self, network, sim):
+        b = network.host("b.example")
+        b.schedule_outage(5.0, 10.0)
+        sim.run(until=6.0)
+        assert not b.is_up
+        sim.run(until=11.0)
+        assert b.is_up
+
+    def test_outage_validation(self, network, sim):
+        b = network.host("b.example")
+        with pytest.raises(ValueError):
+            b.schedule_outage(5.0, 5.0)
+        sim.timeout(10.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            b.schedule_outage(5.0, 8.0)  # in the past
+
+    def test_transfer_rides_through_outage(self, network, sim):
+        from tests.conftest import run_process
+
+        a, b = network.host("a.example"), network.host("b.example")
+        # 10 Mb at 10 Mbps would finish at ~1 s, but the receiver is
+        # down until t=3: early attempts are lost, a later one lands.
+        b.schedule_outage(0.5, 3.0)
+        report = run_process(sim, a.reliable_transfer(b, mbit(10)))
+        assert report.attempts > 1
+        assert report.finished_at >= 3.0
+        assert b.bits_received == mbit(10)
+
+
+class TestDiurnalIntegration:
+    def test_diurnal_node_dips_at_peak(self, sim, streams):
+        from repro.simnet.bandwidth import DiurnalBandwidth
+        from repro.simnet.topology import NodeSpec, Region, Site, Topology
+
+        site = Site(name="lab", region=Region("eu"))
+        topo = Topology()
+        topo.add_node(
+            NodeSpec(
+                hostname="d.example", site=site, up_bps=10e6, down_bps=10e6,
+                overhead_s=0.01, overhead_cv=0.0,
+                load_min_share=1.0, load_max_share=1.0,
+                diurnal_depth=0.5, diurnal_peak_offset_s=0.0,
+            )
+        )
+        topo.set_region_rtt("eu", "eu", 0.02)
+        net = Network(sim, topo, streams=streams)
+        host = net.host("d.example")
+        off_peak = host.up_capacity_at(0.0)
+        at_trough = host.up_capacity_at(DiurnalBandwidth.DAY / 2)
+        assert at_trough == pytest.approx(off_peak * 0.5, rel=0.01)
+        # Planning rate accounts for the average dip.
+        assert host.planned_up_bps() == pytest.approx(10e6 * 0.75, rel=0.01)
+
+    def test_diurnal_depth_validation(self):
+        from repro.errors import ConfigError
+        from repro.simnet.topology import NodeSpec, Region, Site
+
+        site = Site(name="lab", region=Region("eu"))
+        with pytest.raises(ConfigError):
+            NodeSpec(hostname="x", site=site, diurnal_depth=1.0)

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import ARTIFACTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig2", "fig7", "scale"):
+            assert name in out
+
+    def test_unknown_artifact_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_single_artifact_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "planetlab1.itwm.fhg.de" in out
+
+    def test_fig2_with_custom_config(self, capsys):
+        assert main(["fig2", "--seed", "11", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SC7" in out and "27.13" in out
+
+    def test_artifact_catalog_complete(self):
+        assert set(ARTIFACTS) == {
+            "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "scale", "churn",
+        }
+
+
+class TestCliConfigFile:
+    def test_config_file_used(self, tmp_path, capsys):
+        from repro.experiments import ExperimentConfig
+
+        path = tmp_path / "cfg.json"
+        ExperimentConfig(seed=11, repetitions=2).save(path)
+        assert main(["fig2", "--config", str(path)]) == 0
+        assert "SC7" in capsys.readouterr().out

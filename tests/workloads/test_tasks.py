@@ -1,0 +1,65 @@
+"""Tests for task workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import mbit
+from repro.workloads.files import FileSpec
+from repro.workloads.tasks import (
+    VIRTUAL_CAMPUS_TASKS,
+    ProcessingTask,
+    campus_task,
+)
+
+
+class TestProcessingTask:
+    def test_ops_scale_with_input(self):
+        t = ProcessingTask(
+            name="t",
+            input_file=FileSpec.of_mbit("f", 100.0),
+            ops_per_mbit=3.0,
+        )
+        assert t.ops == pytest.approx(300.0)
+        assert t.input_bits == mbit(100)
+
+    def test_base_ops_only(self):
+        t = ProcessingTask(name="t", base_ops=50.0)
+        assert t.ops == 50.0
+        assert t.input_bits == 0.0
+
+    def test_base_plus_input(self):
+        t = ProcessingTask(
+            name="t",
+            input_file=FileSpec.of_mbit("f", 10.0),
+            ops_per_mbit=2.0,
+            base_ops=5.0,
+        )
+        assert t.ops == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessingTask(name="", base_ops=1.0)
+        with pytest.raises(ValueError):
+            ProcessingTask(name="t")  # no input and no base_ops
+        with pytest.raises(ValueError):
+            ProcessingTask(name="t", base_ops=-1.0)
+
+
+class TestCampusTasks:
+    def test_catalog_nonempty(self):
+        assert len(VIRTUAL_CAMPUS_TASKS) >= 5
+
+    def test_campus_task_construction(self):
+        t = campus_task("transcode-lecture")
+        assert t.input_bits == mbit(100)
+        assert t.ops == pytest.approx(300.0)
+
+    def test_all_catalog_entries_buildable(self):
+        for name, size_mb, _ in VIRTUAL_CAMPUS_TASKS:
+            t = campus_task(name)
+            assert t.input_bits == mbit(size_mb)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            campus_task("mine-bitcoin")

@@ -1,0 +1,153 @@
+"""Tests for workload trace persistence and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.scenario import ExperimentConfig, Session
+from repro.selection.blind import RoundRobinSelector
+from repro.selection.scheduling import SchedulingBasedSelector
+from repro.units import mbit
+from repro.workloads.files import FileSpec
+from repro.workloads.generator import Job, WorkloadGenerator
+from repro.workloads.tasks import ProcessingTask
+from repro.workloads.traces import load_jobs, replay, save_jobs
+
+
+def sample_jobs():
+    return [
+        Job(
+            arrival_s=0.0,
+            kind="transfer",
+            file=FileSpec.of_mbit("a.bin", 5.0),
+            n_parts=2,
+        ),
+        Job(
+            arrival_s=10.0,
+            kind="task",
+            task=ProcessingTask(
+                name="proc",
+                input_file=FileSpec.of_mbit("in.bin", 4.0),
+                ops_per_mbit=2.0,
+            ),
+            n_parts=2,
+        ),
+        Job(
+            arrival_s=5.0,
+            kind="task",
+            task=ProcessingTask(name="pure", base_ops=10.0),
+        ),
+    ]
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_jobs(sample_jobs(), path)
+        loaded = load_jobs(path)
+        assert len(loaded) == 3
+        # Sorted by arrival on load.
+        assert [j.arrival_s for j in loaded] == [0.0, 5.0, 10.0]
+        transfer = loaded[0]
+        assert transfer.kind == "transfer"
+        assert transfer.file.size_bits == mbit(5)
+        pure = loaded[1]
+        assert pure.task.ops == 10.0
+        task = loaded[2]
+        assert task.task.input_bits == mbit(4)
+        assert task.task.ops == pytest.approx(8.0)
+
+    def test_generated_trace_roundtrips(self, tmp_path):
+        gen = WorkloadGenerator(np.random.default_rng(3), task_share=0.5)
+        jobs = list(gen.poisson(rate_per_s=0.5, horizon_s=60.0))
+        path = tmp_path / "gen.json"
+        save_jobs(jobs, path)
+        loaded = load_jobs(path)
+        assert len(loaded) == len(jobs)
+        assert {j.kind for j in loaded} <= {"transfer", "task"}
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "jobs": []}')
+        with pytest.raises(ReproError):
+            load_jobs(path)
+
+
+class TestReplay:
+    def test_replay_runs_all_jobs(self):
+        session = Session(ExperimentConfig(seed=13))
+        jobs = sample_jobs()
+
+        def scenario(s):
+            report = yield s.sim.process(
+                replay(s, jobs, SchedulingBasedSelector(reserve=True))
+            )
+            return report
+
+        report = session.run(scenario)
+        assert len(report.outcomes) == 3
+        assert report.completed == 3
+        assert report.failed == 0
+
+    def test_arrivals_respected(self):
+        session = Session(ExperimentConfig(seed=14))
+        jobs = sample_jobs()
+
+        def scenario(s):
+            start = s.sim.now
+            report = yield s.sim.process(
+                replay(s, jobs, RoundRobinSelector())
+            )
+            return start, report
+
+        start, report = session.run(scenario)
+        by_name = {o.job.kind + str(o.job.arrival_s): o for o in report.outcomes}
+        for outcome in report.outcomes:
+            assert outcome.dispatched_at == pytest.approx(
+                start + outcome.job.arrival_s, abs=1e-6
+            )
+
+    def test_same_trace_two_policies_comparable(self):
+        jobs = sample_jobs()
+
+        def run_with(selector):
+            session = Session(ExperimentConfig(seed=15))
+
+            def scenario(s):
+                report = yield s.sim.process(replay(s, jobs, selector))
+                return report
+
+            return session.run(scenario)
+
+        blind = run_with(RoundRobinSelector())
+        eco = run_with(SchedulingBasedSelector(reserve=True))
+        assert blind.completed == eco.completed == 3
+
+    def test_mean_transfer_cost(self):
+        session = Session(ExperimentConfig(seed=16))
+        jobs = [
+            Job(arrival_s=0.0, kind="transfer",
+                file=FileSpec.of_mbit("x.bin", 10.0), n_parts=2)
+        ]
+
+        def scenario(s):
+            report = yield s.sim.process(
+                replay(s, jobs, SchedulingBasedSelector(reserve=False))
+            )
+            return report
+
+        report = session.run(scenario)
+        assert report.mean_transfer_cost() > 0
+
+    def test_empty_trace(self):
+        session = Session(ExperimentConfig(seed=17))
+
+        def scenario(s):
+            report = yield s.sim.process(replay(s, [], RoundRobinSelector()))
+            return report
+
+        report = session.run(scenario)
+        assert report.outcomes == []
+        assert report.mean_transfer_cost() != report.mean_transfer_cost()  # NaN
