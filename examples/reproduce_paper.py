@@ -4,13 +4,19 @@
 Prints Table 1 and Figures 2-7 with paper-vs-measured columns where
 the paper gives numbers.  Takes a couple of seconds.
 
-Run:  python examples/reproduce_paper.py [seed]
+Run:  python examples/reproduce_paper.py [seed] [--metrics-out PATH]
+
+With ``--metrics-out`` the run collects the observability layer's
+instruments (petition-latency and per-part transfer histograms, kernel
+and flow-scheduler counters) and writes them to PATH as JSON (or CSV
+when PATH ends in ``.csv``).
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
+from repro.obs import MetricsRegistry, summary_table, use_registry, write_metrics
 from repro.experiments import (
     ExperimentConfig,
     fig2_petition,
@@ -31,10 +37,27 @@ def banner(text: str) -> None:
 
 
 def main() -> None:
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2007
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("seed", nargs="?", type=int, default=2007)
+    parser.add_argument("--metrics-out", metavar="PATH", default=None)
+    args = parser.parse_args()
+    seed = args.seed
     config = ExperimentConfig(seed=seed, repetitions=5)
     print(f"reproducing with seed={seed}, repetitions={config.repetitions} "
           "(the paper averages 5 runs)")
+
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            _reproduce(config)
+        path = write_metrics(registry, args.metrics_out)
+        print()
+        print(summary_table(registry, title=f"run metrics → {path}"))
+    else:
+        _reproduce(config)
+
+
+def _reproduce(config: ExperimentConfig) -> None:
 
     banner("Table 1 — nodes added to the PlanetLab slice")
     print(table1_nodes.run().table())

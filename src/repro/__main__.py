@@ -6,14 +6,23 @@ Usage::
     python -m repro fig2 fig5            # a subset
     python -m repro --seed 41 --reps 5   # different seed / repetitions
     python -m repro --list               # available artifacts
+    python -m repro fig2 --metrics-out metrics.json   # + observability
+
+``--metrics-out PATH`` installs a metrics registry for the run and
+writes every instrument (petition-latency and per-part transfer
+histograms, kernel/flow counters, ...) to PATH as JSON — or CSV when
+the path ends in ``.csv`` — and prints a summary table.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
+from pathlib import Path
 from typing import Callable, Dict
 
+from repro.obs import MetricsRegistry, summary_table, use_registry, write_metrics
 from repro.experiments import (
     ExperimentConfig,
     churn,
@@ -78,6 +87,11 @@ def main(argv=None) -> int:
         help="load an ExperimentConfig JSON (overrides --seed/--reps)",
     )
     parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="collect run metrics and write them to PATH "
+             "(.csv for CSV, anything else for JSON)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available artifacts"
     )
     args = parser.parse_args(argv)
@@ -97,13 +111,31 @@ def main(argv=None) -> int:
         config = ExperimentConfig.load(args.config)
     else:
         config = ExperimentConfig(seed=args.seed, repetitions=args.reps)
-    for name in chosen:
-        desc, runner = ARTIFACTS[name]
+    if args.metrics_out:
+        out_dir = Path(args.metrics_out).expanduser().resolve().parent
+        if not out_dir.is_dir():
+            # Fail before the run, not after minutes of simulation.
+            print(
+                f"--metrics-out: directory {out_dir} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+    registry = MetricsRegistry() if args.metrics_out else None
+    # NB: ``if registry`` would be False for an empty registry (it has
+    # a __len__), silently skipping installation — test identity.
+    with use_registry(registry) if registry is not None else nullcontext():
+        for name in chosen:
+            desc, runner = ARTIFACTS[name]
+            print()
+            print("=" * 72)
+            print(f"{name} — {desc}")
+            print("=" * 72)
+            print(runner(config))
+
+    if registry is not None:
+        path = write_metrics(registry, args.metrics_out)
         print()
-        print("=" * 72)
-        print(f"{name} — {desc}")
-        print("=" * 72)
-        print(runner(config))
+        print(summary_table(registry, title=f"run metrics → {path}"))
     return 0
 
 

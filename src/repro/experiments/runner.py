@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Mapping
 
 from repro.analysis.stats import Summary, summarize
 from repro.experiments.scenario import ExperimentConfig, Session
+from repro.obs.runtime import active_registry
 
 __all__ = ["run_repetitions", "average_rows"]
 
@@ -26,11 +27,23 @@ def run_repetitions(
     ``scenario(session)`` must return a generator process (the session
     connects all peers first, then runs it).  Returns the list of
     per-repetition results.
+
+    When a metrics registry is installed (``repro.obs.use_registry``)
+    every repetition's instruments accumulate into it, plus a
+    per-repetition count and sim-duration histogram from here.
     """
+    reg = active_registry()
+    m_reps = reg.counter("experiment.repetitions")
+    m_sim_s = reg.histogram(
+        "experiment.rep_sim_time_s",
+        bounds=(1, 10, 60, 300, 600, 1800, 3600, 7200, 14400),
+    )
     results: List[object] = []
     for rep in range(config.repetitions):
         session = Session(config.for_repetition(rep))
         results.append(session.run(scenario))
+        m_reps.inc()
+        m_sim_s.observe(session.sim.now)
     return results
 
 

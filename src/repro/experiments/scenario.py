@@ -14,6 +14,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigError
+from repro.obs.runtime import active_registry
+from repro.obs.trace import EventTrace
 from repro.overlay.broker import Broker
 from repro.overlay.client import SimpleClient
 from repro.overlay.ids import IdFactory
@@ -40,6 +42,11 @@ class ExperimentConfig:
     include_full_slice: bool = False
     #: Enable structured tracing (costs memory).
     trace: bool = False
+    #: Bound trace memory: keep at most this many events (None = all).
+    trace_capacity: Optional[int] = None
+    #: Retention policy when ``trace_capacity`` is set: "ring" keeps
+    #: the most recent events, "reservoir" a uniform sample of the run.
+    trace_policy: str = "ring"
     #: Flow-scheduler reconcile tick (seconds).
     flow_tick: float = 10.0
     #: Override peer protocol parameters (None = defaults).
@@ -50,6 +57,10 @@ class ExperimentConfig:
             raise ConfigError("repetitions must be >= 1")
         if self.flow_tick <= 0:
             raise ConfigError("flow_tick must be > 0")
+        if self.trace_capacity is not None and self.trace_capacity < 1:
+            raise ConfigError("trace_capacity must be >= 1")
+        if self.trace_policy not in ("ring", "reservoir"):
+            raise ConfigError("trace_policy must be 'ring' or 'reservoir'")
 
     def for_repetition(self, rep: int) -> "ExperimentConfig":
         """Config with the repetition-specific derived seed."""
@@ -66,6 +77,8 @@ class ExperimentConfig:
             "repetitions": self.repetitions,
             "include_full_slice": self.include_full_slice,
             "trace": self.trace,
+            "trace_capacity": self.trace_capacity,
+            "trace_policy": self.trace_policy,
             "flow_tick": self.flow_tick,
         }
         if self.peer_config is not None:
@@ -109,15 +122,26 @@ class Session:
         self.testbed: PlanetLabTestbed = build_testbed(
             include_full_slice=config.include_full_slice
         )
-        self.sim = Simulator()
+        #: The process-wide registry active at construction time — the
+        #: shared no-op unless an experiment driver installed one.
+        self.metrics = active_registry()
+        self.sim = Simulator(metrics=self.metrics)
         self.streams = RandomStreams(seed=config.seed)
-        self.tracer = Tracer(enabled=config.trace)
+        if config.trace and config.trace_capacity is not None:
+            self.tracer = EventTrace(
+                capacity=config.trace_capacity,
+                policy=config.trace_policy,
+                seed=config.seed,
+            )
+        else:
+            self.tracer = Tracer(enabled=config.trace)
         self.network = Network(
             self.sim,
             self.testbed.topology,
             streams=self.streams,
             tracer=self.tracer,
             flow_tick=config.flow_tick,
+            metrics=self.metrics,
         )
         ids = IdFactory(namespace=f"run-{config.seed}")
         self.ids = ids
@@ -160,7 +184,12 @@ class Session:
             return result
 
         p = self.sim.process(main(self))
-        self.sim.run(until=p)
+        try:
+            self.sim.run(until=p)
+        finally:
+            # Publish kernel counters even when the scenario fails —
+            # partial metrics beat silent gaps when debugging stalls.
+            self.sim.flush_metrics()
         return p.value
 
     # -- conveniences ----------------------------------------------------------

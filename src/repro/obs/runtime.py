@@ -1,0 +1,49 @@
+"""Process-wide active registry.
+
+Sessions and networks read the *active* registry at construction time,
+so enabling metrics for a whole experiment run is one call::
+
+    with use_registry(MetricsRegistry()) as reg:
+        fig2_petition.run(config)
+    print(summary_table(reg))
+
+The default active registry is the shared no-op
+:data:`~repro.obs.metrics.NULL_REGISTRY`, which keeps every
+instrumented hot path at one no-op call — instrumentation costs
+nothing unless somebody is watching.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+__all__ = ["active_registry", "install_registry", "use_registry"]
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry new components should bind to."""
+    return _active
+
+
+def install_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Set (or with ``None``, reset) the active registry; returns it."""
+    global _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return _active
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`install_registry` that restores the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

@@ -153,6 +153,15 @@ class Broker(PeerNode):
         #: Federated brokers: broker peer id -> advertisement.
         self.federated: Dict[PeerId, PeerAdvertisement] = {}
         self._federation_running = False
+        # Governor-side instruments (no-ops unless a registry is installed).
+        reg = self.metrics
+        self._m_joins = reg.counter("broker.joins")
+        self._m_keepalives = reg.counter("broker.keepalives")
+        self._m_stat_reports = reg.counter("broker.stat_reports")
+        self._m_queries = reg.counter("broker.discovery_queries")
+        self._m_digests = reg.counter("broker.digests_received")
+        self._m_allocations = reg.counter("broker.allocations")
+        self._m_registry_size = reg.gauge("broker.registry_size")
 
     # -- maintenance ---------------------------------------------------------
 
@@ -232,6 +241,7 @@ class Broker(PeerNode):
 
     def _on_join_request(self, dgram: Datagram) -> None:
         req: JoinRequest = dgram.payload
+        self._m_joins.inc()
         now = self.sim.now
         rec = self.registry.get(req.peer_id)
         if rec is None:
@@ -250,6 +260,7 @@ class Broker(PeerNode):
             rec.interaction = self.interaction_stats(req.hostname)
             self.registry[req.peer_id] = rec
             self._adv_index["peer"].append(adv)
+            self._m_registry_size.set(len(self.registry))
         else:
             rec.online = True
             rec.last_seen = now
@@ -268,6 +279,7 @@ class Broker(PeerNode):
 
     def _on_keepalive(self, dgram: Datagram) -> None:
         beacon: KeepAlive = dgram.payload
+        self._m_keepalives.inc()
         rec = self.registry.get(beacon.peer_id)
         if rec is None:
             return
@@ -281,6 +293,7 @@ class Broker(PeerNode):
 
     def _on_stat_report(self, dgram: Datagram) -> None:
         report: StatReport = dgram.payload
+        self._m_stat_reports.inc()
         rec = self.registry.get(report.peer_id)
         if rec is None:
             return
@@ -298,6 +311,7 @@ class Broker(PeerNode):
 
     def _on_discovery_query(self, dgram: Datagram) -> None:
         query: DiscoveryQuery = dgram.payload
+        self._m_queries.inc()
         now = self.sim.now
         matches = tuple(
             adv
@@ -383,6 +397,7 @@ class Broker(PeerNode):
 
     def _on_registry_digest(self, dgram: Datagram) -> None:
         digest: RegistryDigest = dgram.payload
+        self._m_digests.inc()
         now = self.sim.now
         for entry in digest.entries:
             rec = self.registry.get(entry.peer_id)
@@ -469,6 +484,7 @@ class Broker(PeerNode):
             record, workload, self.sim.now
         )
         self.reserve(record.peer_id, estimate.completion_at)
+        self._m_allocations.inc()
         return record
 
     # -- planning estimates (economic model support) ------------------------------

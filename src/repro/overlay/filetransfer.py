@@ -240,6 +240,11 @@ class TransferHandle:
             raise
         rec.confirmed_at = sim.now
         self.outcome.parts.append(rec)
+        svc = self.service
+        svc._m_parts_sent.inc()
+        svc._m_part_bulk.observe(rec.bulk_seconds)
+        svc._m_part_total.observe(rec.total_seconds)
+        svc._m_part_attempts.observe(rec.attempts)
         # Per-part goodput observation for the selection models.
         if rec.bulk_seconds > 0:
             peer.observed_perf(self.dst_adv.peer_id).record_transfer(
@@ -264,6 +269,8 @@ class TransferHandle:
         self.service._track_outgoing(self.dst_adv.hostname, -1)
         self.outcome.finished_at = self.service.sim.now
         self.outcome.ok = True
+        self.service._m_transfers_ok.inc()
+        self.service._m_transfer_total.observe(self.outcome.total_duration)
         peer.stats.pending_transfers -= 1
         peer.stats.record_file_attempt(self.service.sim.now, ok=True)
         peer.interaction_stats(self.dst_adv.hostname).record_file_attempt(
@@ -286,6 +293,7 @@ class TransferHandle:
         self.service._track_outgoing(self.dst_adv.hostname, -1)
         self.outcome.finished_at = self.service.sim.now
         self.outcome.ok = False
+        self.service._m_transfers_cancelled.inc()
         peer.stats.pending_transfers -= 1
         peer.stats.record_file_attempt(self.service.sim.now, ok=False, cancelled=True)
         peer.interaction_stats(self.dst_adv.hostname).record_file_attempt(
@@ -299,6 +307,21 @@ class FileTransferService:
     def __init__(self, peer: "PeerNode") -> None:
         self.peer = peer
         self.sim = peer.sim
+        # Protocol instruments: the quantities the paper's figures are
+        # built from (petition latency — Fig. 2; per-part times —
+        # Figs. 3/5; attempts — the loss-amplification mechanism).
+        reg = peer.metrics
+        self._m_petition_latency = reg.histogram("overlay.petition_latency_s")
+        self._m_petition_attempts = reg.counter("overlay.petition_attempts")
+        self._m_part_total = reg.histogram("overlay.part_transfer_s")
+        self._m_part_bulk = reg.histogram("overlay.part_bulk_s")
+        self._m_part_attempts = reg.histogram(
+            "overlay.part_attempts", bounds=(1, 2, 3, 5, 10, 20, 50)
+        )
+        self._m_parts_sent = reg.counter("overlay.parts_sent")
+        self._m_transfer_total = reg.histogram("overlay.transfer_total_s")
+        self._m_transfers_ok = reg.counter("overlay.transfers_ok")
+        self._m_transfers_cancelled = reg.counter("overlay.transfers_cancelled")
         self._incoming: Dict[TransferId, _IncomingTransfer] = {}
         #: Waiters for inbound file completions, keyed by filename
         #: (file-sharing fetches block on these).
@@ -361,6 +384,7 @@ class FileTransferService:
             for attempt in range(1, cfg.petition_retries + 1):
                 waiter = peer.expect(("petition-ack", tid))
                 sent_at = self.sim.now
+                self._m_petition_attempts.inc()
                 peer.host.send(dst_host, petition)  # heavy: first contact
                 yield self.sim.any_of(
                     [waiter, self.sim.timeout(cfg.petition_timeout_s)]
@@ -379,6 +403,7 @@ class FileTransferService:
                     peer.observed_perf(dst_adv.peer_id).record_petition_latency(
                         self.sim.now, ack.received_at - sent_at
                     )
+                    self._m_petition_latency.observe(ack.received_at - sent_at)
                     self._track_outgoing(dst_adv.hostname, +1)
                     return TransferHandle(self, dst_adv, outcome)
                 peer.cancel_wait(("petition-ack", tid), waiter)
@@ -389,6 +414,7 @@ class FileTransferService:
             )
         except TransferAborted:
             peer.stats.pending_transfers -= 1
+            self._m_transfers_cancelled.inc()
             peer.stats.record_file_attempt(self.sim.now, ok=False, cancelled=True)
             peer.interaction_stats(dst_adv.hostname).record_file_attempt(
                 self.sim.now, ok=False, cancelled=True

@@ -138,6 +138,19 @@ class PeerNode:
         self.name = name or hostname
         self.config = config or PeerConfig()
 
+        #: Shared metrics registry (no-op unless one is installed).
+        self.metrics = network.metrics
+        self._m_inbox_len = self.metrics.histogram(
+            "peer.inbox_len", bounds=(0, 1, 2, 5, 10, 20, 50, 100)
+        )
+        self._m_pending_transfers = self.metrics.histogram(
+            "peer.pending_transfers", bounds=(0, 1, 2, 5, 10, 20, 50, 100)
+        )
+        self._m_pending_tasks = self.metrics.histogram(
+            "peer.pending_tasks", bounds=(0, 1, 2, 5, 10, 20, 50, 100)
+        )
+        self._m_request_timeouts = self.metrics.counter("peer.request_timeouts")
+
         #: Local statistics (this peer's own accounting).
         self.stats = PeerStats()
         #: What this peer has observed about *other* peers, by PeerId.
@@ -258,6 +271,7 @@ class PeerNode:
             self.cancel_wait(key, waiter)
             self.stats.record_message(self.sim.now, ok=False)
             dst_stats.record_message(self.sim.now, ok=False)
+        self._m_request_timeouts.inc()
         raise RequestTimeout(
             f"{self.name}: no reply for {type(payload).__name__} "
             f"after {retries} attempts"
@@ -427,6 +441,11 @@ class PeerNode:
                 outbox_len=self.stats.pending_transfers,
                 inbox_len=len(self.host.inbox) + self.stats.pending_tasks,
             )
+            # Queue-occupancy sampling rides the keepalive cadence so
+            # every connected peer reports at the same sim-time rhythm.
+            self._m_inbox_len.observe(self.stats.inbox_len_now)
+            self._m_pending_transfers.observe(self.stats.pending_transfers)
+            self._m_pending_tasks.observe(self.stats.pending_tasks)
             beacon = KeepAlive(
                 peer_id=self.peer_id,
                 outbox_len=self.stats.outbox_len_now,

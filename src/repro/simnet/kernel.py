@@ -25,6 +25,7 @@ loop avoids per-event allocation beyond the heap entries themselves
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import (
@@ -214,6 +215,7 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished process {self!r}")
         if self is self.sim.active_process:
             raise SimulationError("a process cannot interrupt itself")
+        self.sim.interrupts += 1
         exc = ProcessInterrupted(cause)
         waiting = self._waiting_on
         if waiting is not None and not waiting.processed:
@@ -374,12 +376,21 @@ class Simulator:
         assert proc.value == "done"
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Any = None) -> None:
         self._now = 0.0
         self._agenda: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._stopped = False
+        #: Optional metrics registry published to by :meth:`flush_metrics`.
+        self.metrics = metrics
+        #: Lifetime counters — plain ints so the hot loop never pays for
+        #: instrumentation; :meth:`flush_metrics` publishes them.
+        self.events_processed = 0
+        self.interrupts = 0
+        self.max_agenda_depth = 0
+        self._flushed_events = 0
+        self._flushed_interrupts = 0
 
     # -- clock & introspection ---------------------------------------------
 
@@ -453,6 +464,8 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._agenda, (self._now + delay, priority, self._seq, event))
         event._scheduled = True
+        if len(self._agenda) > self.max_agenda_depth:
+            self.max_agenda_depth = len(self._agenda)
 
     # -- the loop ---------------------------------------------------------------
 
@@ -461,6 +474,7 @@ class Simulator:
         if not self._agenda:
             raise SimulationError("step() on an empty agenda")
         self._now, _prio, _seq, event = heapq.heappop(self._agenda)
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)
@@ -516,6 +530,31 @@ class Simulator:
         """Stop the current :meth:`run` after the in-flight event."""
         self._stopped = True
 
+    # -- metrics ----------------------------------------------------------------
+
+    def flush_metrics(self, registry: Any = None) -> None:
+        """Publish kernel counters into a metrics registry.
+
+        ``registry`` defaults to the one given at construction; with
+        neither (or a disabled registry) this is a no-op.  Counters
+        publish deltas since the last flush, so flushing repeatedly —
+        e.g. once per experiment repetition into a shared registry —
+        never double-counts.
+        """
+        reg = registry if registry is not None else self.metrics
+        if reg is None or not reg.enabled:
+            return
+        reg.counter("kernel.events_processed").inc(
+            self.events_processed - self._flushed_events
+        )
+        reg.counter("kernel.interrupts").inc(
+            self.interrupts - self._flushed_interrupts
+        )
+        self._flushed_events = self.events_processed
+        self._flushed_interrupts = self.interrupts
+        reg.gauge("kernel.agenda_depth").track_max(self.max_agenda_depth)
+        reg.gauge("kernel.sim_time_s").set(self._now)
+
 
 class Resource:
     """A capacity-limited resource (counting semaphore).
@@ -530,7 +569,14 @@ class Resource:
         self.sim = sim
         self.capacity = int(capacity)
         self._in_use = 0
-        self._waiters: list[Event] = []
+        #: FIFO of pending grant events.  Cancelled waiters stay in the
+        #: deque as tombstones (members of ``_cancelled``) and are
+        #: skipped on wake — O(1) cancel instead of an O(n) remove.
+        self._waiters: deque[Event] = deque()
+        self._cancelled: set[Event] = set()
+        #: Grants currently holding a slot; membership makes
+        #: :meth:`cancel` (and grant-aware :meth:`release`) idempotent.
+        self._open_grants: set[Event] = set()
 
     @property
     def in_use(self) -> int:
@@ -539,8 +585,8 @@ class Resource:
 
     @property
     def queued(self) -> int:
-        """Number of pending requests."""
-        return len(self._waiters)
+        """Number of pending (non-cancelled) requests."""
+        return len(self._waiters) - len(self._cancelled)
 
     @property
     def available(self) -> int:
@@ -552,33 +598,52 @@ class Resource:
         ev = self.sim.event(name="resource-grant")
         if self._in_use < self.capacity:
             self._in_use += 1
+            self._open_grants.add(ev)
             ev.succeed(self)
         else:
             self._waiters.append(ev)
         return ev
 
-    def release(self) -> None:
-        """Free one slot, waking the oldest waiter if any."""
+    def release(self, grant: Optional[Event] = None) -> None:
+        """Free one slot, waking the oldest live waiter if any.
+
+        Passing the ``grant`` event closes it explicitly: a later
+        :meth:`cancel` (or a second release) of the same grant becomes
+        a no-op instead of freeing somebody else's slot.
+        """
+        if grant is not None:
+            if grant not in self._open_grants:
+                raise SimulationError(
+                    "release() of a grant that is not currently held"
+                )
+            self._open_grants.discard(grant)
         if self._in_use <= 0:
             raise SimulationError("release() without matching request()")
-        if self._waiters:
-            ev = self._waiters.pop(0)
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if ev in self._cancelled:
+                self._cancelled.discard(ev)
+                continue
+            self._open_grants.add(ev)
             ev.succeed(self)
-        else:
-            self._in_use -= 1
+            return
+        self._in_use -= 1
 
     def cancel(self, grant: Event) -> None:
-        """Withdraw a request.
+        """Withdraw a request; idempotent per grant.
 
-        If the grant is still queued it is simply removed; if it was
-        already granted the slot is released.  Needed when the process
-        that requested a slot is interrupted while waiting — without
-        this, an abandoned granted event would leak its slot.
+        A still-queued grant is tombstoned (skipped when its turn
+        comes); a granted-and-open grant releases its slot.  A grant
+        already released or cancelled is left alone — so an interrupt
+        handler may always call ``cancel`` without risking a double
+        release or a phantom free slot.
         """
-        if grant in self._waiters:
-            self._waiters.remove(grant)
+        if not grant.triggered:
+            if grant not in self._cancelled:
+                self._cancelled.add(grant)
             return
-        if grant.triggered and grant._ok:
+        if grant in self._open_grants:
+            self._open_grants.discard(grant)
             self.release()
 
 
@@ -593,8 +658,8 @@ class Store:
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._items: list[Any] = []
-        self._getters: list[Event] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -607,7 +672,7 @@ class Store:
     def put(self, item: Any) -> None:
         """Deposit ``item``; wakes the oldest waiting getter."""
         if self._getters:
-            ev = self._getters.pop(0)
+            ev = self._getters.popleft()
             ev.succeed(item)
         else:
             self._items.append(item)
@@ -616,7 +681,7 @@ class Store:
         """Return an event that succeeds with the oldest item."""
         ev = self.sim.event(name=f"store-get({self.name})")
         if self._items:
-            ev.succeed(self._items.pop(0))
+            ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
         return ev

@@ -42,6 +42,8 @@ from repro.errors import (
     SimulationError,
     TransferAborted,
 )
+from repro.obs.metrics import DEFAULT_RATE_BUCKETS, MetricsRegistry
+from repro.obs.runtime import active_registry
 from repro.simnet.bandwidth import ContendedBandwidth, DiurnalBandwidth
 from repro.simnet.kernel import Event, Resource, Simulator, Store
 from repro.simnet.latency import LognormalLatency, SpikyLatency
@@ -113,7 +115,10 @@ class TransferReport:
 class Flow:
     """One active bulk flow inside the :class:`FlowScheduler`."""
 
-    __slots__ = ("src", "dst", "remaining", "rate", "last_update", "done", "size_bits")
+    __slots__ = (
+        "src", "dst", "remaining", "rate", "last_update", "done",
+        "size_bits", "started_at",
+    )
 
     def __init__(self, src: "Host", dst: "Host", size_bits: float, done: Event) -> None:
         self.src = src
@@ -122,6 +127,7 @@ class Flow:
         self.remaining = float(size_bits)
         self.rate = 0.0
         self.last_update = 0.0
+        self.started_at = 0.0
         self.done = done
 
 
@@ -135,13 +141,27 @@ class FlowScheduler:
     are active, so long transfers feel contention changes.
     """
 
-    def __init__(self, sim: Simulator, tick: float = 10.0) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        tick: float = 10.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if tick <= 0:
             raise ValueError(f"tick must be > 0, got {tick}")
         self.sim = sim
         self.tick = float(tick)
         self._flows: list[Flow] = []
         self._timer_gen = 0
+        # Instruments are bound once here so the per-reconcile cost with
+        # the (default) no-op registry is a single no-op call.
+        reg = metrics if metrics is not None else active_registry()
+        self._m_started = reg.counter("flow.started")
+        self._m_finished = reg.counter("flow.finished")
+        self._m_reconciles = reg.counter("flow.reconciles")
+        self._m_stalled_windows = reg.counter("flow.zero_rate_windows")
+        self._m_active = reg.gauge("flow.active")
+        self._m_goodput = reg.histogram("flow.goodput_mbps", DEFAULT_RATE_BUCKETS)
 
     @property
     def active_flows(self) -> int:
@@ -155,9 +175,12 @@ class FlowScheduler:
         done = self.sim.event(name=f"flow {src.hostname}->{dst.hostname}")
         flow = Flow(src, dst, size_bits, done)
         flow.last_update = self.sim.now
+        flow.started_at = self.sim.now
         self._flows.append(flow)
         src._up_flows += 1
         dst._down_flows += 1
+        self._m_started.inc()
+        self._m_active.set(len(self._flows))
         self._reconcile()
         return done
 
@@ -176,6 +199,7 @@ class FlowScheduler:
 
     def _reconcile(self) -> None:
         now = self.sim.now
+        self._m_reconciles.inc()
         self._advance_progress(now)
 
         finished = [f for f in self._flows if f.remaining <= _EPSILON_BITS]
@@ -184,10 +208,15 @@ class FlowScheduler:
             for f in finished:
                 f.src._up_flows -= 1
                 f.dst._down_flows -= 1
+            self._m_finished.inc(len(finished))
+            self._m_active.set(len(self._flows))
             # Departures change shares for the survivors.
         self._recompute_rates(now)
 
         for f in finished:
+            duration = now - f.started_at
+            if duration > 0:
+                self._m_goodput.observe(f.size_bits / duration / 1e6)
             f.done.succeed(f)
 
         self._schedule_timer()
@@ -197,8 +226,17 @@ class FlowScheduler:
         if not self._flows:
             return
         gen = self._timer_gen
-        horizon = min(f.remaining / f.rate for f in self._flows if f.rate > 0)
-        delay = min(horizon, self.tick)
+        horizons = [f.remaining / f.rate for f in self._flows if f.rate > 0]
+        if horizons:
+            delay = min(min(horizons), self.tick)
+        else:
+            # Every active flow is stalled at rate 0 (e.g. an outage
+            # window collapsed both access links).  Nothing will finish
+            # before capacity returns, so poll again at the tick — a
+            # bare ``min()`` here used to raise ValueError, and
+            # skipping the timer would stall the flows forever.
+            self._m_stalled_windows.inc()
+            delay = self.tick
         # Guard against zero-delay livelock from float dust.
         delay = max(delay, 1e-9)
         self.sim.call_in(delay, self._on_timer, gen)
@@ -287,6 +325,16 @@ class Host:
         self.messages_lost = 0
         self.bits_sent = 0.0
         self.bits_received = 0.0
+
+        # Network-wide instruments (shared across hosts; no-ops by default).
+        reg = network.metrics
+        self._m_msgs_sent = reg.counter("net.messages_sent")
+        self._m_msgs_lost = reg.counter("net.messages_lost")
+        self._m_msg_latency = reg.histogram("net.message_latency_s")
+        self._m_retransmissions = reg.counter("net.retransmissions")
+        self._m_transfer_attempts = reg.histogram(
+            "net.transfer_attempts", bounds=(1, 2, 3, 5, 10, 20, 50)
+        )
 
     # -- state ---------------------------------------------------------------
 
@@ -377,6 +425,7 @@ class Host:
             sent_at=now,
         )
         self.messages_sent += 1
+        self._m_msgs_sent.inc()
         path = self.network.topology.path(self.hostname, dst.hostname)
         handling = dst._light_overhead if light else dst._overhead
         delay = path.base_one_way_s + handling.sample(now)
@@ -389,6 +438,7 @@ class Host:
         )
         if lost:
             self.messages_lost += 1
+            self._m_msgs_lost.inc()
             return dgram
         self.sim.call_in(delay, dst._deliver, dgram)
         return dgram
@@ -401,6 +451,7 @@ class Host:
             return
         dgram.delivered_at = self.sim.now
         self.messages_received += 1
+        self._m_msg_latency.observe(dgram.latency)
         self.network.tracer.record(
             "msg-recv", self.sim.now, src=dgram.src, dst=dgram.dst,
             payload_kind=type(dgram.payload).__name__, latency=dgram.latency,
@@ -457,6 +508,7 @@ class Host:
             )
             if not lost and dst._is_up:
                 dst.bits_received += size_bits
+                self._m_transfer_attempts.observe(attempt)
                 report = TransferReport(
                     src=self.hostname,
                     dst=dst.hostname,
@@ -473,6 +525,7 @@ class Host:
                 )
                 return report
             wasted += size_bits
+            self._m_retransmissions.inc()
             attempt_duration = now - attempt_started
             detection = max(loss_timeout_factor * attempt_duration, 0.05)
             self.network.tracer.record(
@@ -514,7 +567,7 @@ class Host:
             yield duration
             return duration
         finally:
-            self.cpu.release()
+            self.cpu.release(grant)
 
     def planned_compute_seconds(self, ops: float) -> float:
         """Planning estimate of :meth:`compute` (mean share)."""
@@ -535,12 +588,14 @@ class Network:
         streams: Optional[RandomStreams] = None,
         tracer: Optional[Tracer] = None,
         flow_tick: float = 10.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.streams = streams if streams is not None else RandomStreams(seed=0)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        self.flows = FlowScheduler(sim, tick=flow_tick)
+        self.metrics = metrics if metrics is not None else active_registry()
+        self.flows = FlowScheduler(sim, tick=flow_tick, metrics=self.metrics)
         self._hosts: Dict[str, Host] = {}
 
     def host(self, hostname: str) -> Host:

@@ -101,3 +101,46 @@ class TestConfigPersistence:
 
         with pytest.raises(ConfigError):
             ExperimentConfig.from_dict({"repetitions": 0})
+
+
+class TestSessionObservability:
+    def test_session_picks_up_installed_registry(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            session = Session(ExperimentConfig())
+            assert session.metrics is reg
+            assert session.sim.metrics is reg
+
+            def scenario(s):
+                yield 1.0
+
+            session.run(scenario)
+        # run() flushes kernel counters into the registry on exit.
+        assert reg.counter("kernel.events_processed").value > 0
+        assert reg.gauge("kernel.sim_time_s").value == session.sim.now
+
+    def test_default_session_uses_null_registry(self):
+        session = Session(ExperimentConfig())
+        assert not session.metrics.enabled
+
+    def test_bounded_trace_config(self):
+        from repro.obs.trace import EventTrace
+
+        session = Session(ExperimentConfig(trace=True, trace_capacity=16))
+        assert isinstance(session.tracer, EventTrace)
+        assert session.tracer.capacity == 16
+
+        def scenario(s):
+            yield 1.0
+
+        session.run(scenario)
+        assert session.tracer.seen > 0
+        assert len(session.tracer) <= 16
+
+    def test_trace_config_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(trace_capacity=0)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(trace_policy="lifo")

@@ -493,3 +493,158 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestResourceCancel:
+    """Regression tests for idempotent cancel and tombstoned waiters."""
+
+    def test_cancel_queued_request_frees_its_turn(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        w1 = res.request()
+        w2 = res.request()
+        assert res.queued == 2
+        res.cancel(w1)
+        assert res.queued == 1
+        res.release()
+        # The tombstoned waiter is skipped; w2 gets the slot.
+        assert not w1.triggered
+        assert w2.triggered
+
+    def test_double_cancel_of_granted_event_is_noop(self, sim):
+        res = Resource(sim, capacity=1)
+        g = res.request()
+        assert g.triggered
+        res.cancel(g)
+        assert res.in_use == 0
+        # Pre-fix this second cancel double-released the slot.
+        res.cancel(g)
+        assert res.in_use == 0
+        assert res.available == 1
+
+    def test_cancel_after_explicit_release_is_noop(self, sim):
+        res = Resource(sim, capacity=1)
+        g = res.request()
+        res.release(g)
+        res.cancel(g)  # the grant was already closed by release(g)
+        assert res.in_use == 0
+        assert res.request().triggered  # capacity intact, not phantom
+
+    def test_release_of_unknown_grant_rejected(self, sim):
+        res = Resource(sim, capacity=1)
+        g = res.request()
+        res.release(g)
+        with pytest.raises(SimulationError):
+            res.release(g)
+
+    def test_cancel_of_cancelled_queued_request_is_noop(self, sim):
+        res = Resource(sim, capacity=1)
+        res.request()
+        w = res.request()
+        res.cancel(w)
+        res.cancel(w)
+        assert res.queued == 0
+
+    def test_interrupt_after_grant_fired_releases_exactly_once(self, sim):
+        """A cleanup that always cancels must not double-free the slot."""
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            grant = res.request()
+            try:
+                yield grant
+                yield hold
+                res.release(grant)
+                log.append((name, "done", sim.now))
+                return "done"
+            except ProcessInterrupted:
+                log.append((name, "interrupted", sim.now))
+                return "interrupted"
+            finally:
+                res.cancel(grant)  # idempotent: safe on every path
+
+        w1 = sim.process(worker("w1", 5.0))
+        w2 = sim.process(worker("w2", 5.0))
+
+        def interrupter():
+            yield 2.0
+            w1.interrupt("preempted")
+
+        sim.process(interrupter())
+        sim.run()
+        assert w1.value == "interrupted"
+        assert w2.value == "done"
+        # w2 got the slot at the interrupt, not before, not twice.
+        assert log == [
+            ("w1", "interrupted", 2.0),
+            ("w2", "done", 7.0),
+        ]
+        assert res.in_use == 0
+        assert res.available == 1
+
+    def test_tombstones_do_not_leak_grants(self, sim):
+        res = Resource(sim, capacity=2)
+        grants = [res.request() for _ in range(2)]
+        waiters = [res.request() for _ in range(4)]
+        for w in waiters[:3]:
+            res.cancel(w)
+        for g in grants:
+            res.release(g)
+        # Only the one live waiter is woken; the second release frees.
+        assert waiters[3].triggered
+        assert res.in_use == 1
+        assert res.queued == 0
+
+
+class TestKernelInstrumentation:
+    def test_events_processed_counts_steps(self, sim):
+        def proc():
+            yield 1.0
+            yield 1.0
+
+        sim.process(proc())
+        sim.run()
+        assert sim.events_processed > 0
+        assert sim.interrupts == 0
+
+    def test_interrupt_counter(self, sim):
+        def sleeper():
+            try:
+                yield 10.0
+            except ProcessInterrupted:
+                pass
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield 1.0
+            p.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert sim.interrupts == 1
+
+    def test_agenda_depth_high_water_mark(self, sim):
+        for _ in range(5):
+            sim.timeout(1.0)
+        assert sim.max_agenda_depth >= 5
+
+    def test_flush_metrics_publishes_deltas(self, sim):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        sim.timeout(1.0)
+        sim.run()
+        sim.flush_metrics(reg)
+        first = reg.counter("kernel.events_processed").value
+        assert first == sim.events_processed > 0
+        # Flushing again without new events adds nothing.
+        sim.flush_metrics(reg)
+        assert reg.counter("kernel.events_processed").value == first
+        assert reg.gauge("kernel.sim_time_s").value == sim.now
+
+    def test_flush_without_registry_is_noop(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        sim.flush_metrics()  # no registry bound: must not raise

@@ -323,3 +323,92 @@ class TestDiurnalIntegration:
         site = Site(name="lab", region=Region("eu"))
         with pytest.raises(ConfigError):
             NodeSpec(hostname="x", site=site, diurnal_depth=1.0)
+
+
+class TestZeroRateOutage:
+    """Regression: a total capacity outage must not kill the scheduler.
+
+    Pre-fix, ``FlowScheduler._schedule_timer`` took ``min()`` over an
+    empty generator when every active flow reconciled to rate 0 and
+    raised ValueError mid-run (or, had the timer been skipped, the flow
+    would have stalled forever).
+    """
+
+    @staticmethod
+    def _gate(orig, start, end):
+        def rate_at(now):
+            return 0.0 if start <= now < end else orig(now)
+
+        return rate_at
+
+    def test_flow_survives_total_capacity_outage(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        sim = Simulator()
+        reg = MetricsRegistry()
+        net = Network(
+            sim, make_two_node_topology(), streams=RandomStreams(1), metrics=reg
+        )
+        a, b = net.host("a.example"), net.host("b.example")
+        # Collapse both access links over [5, 25): every flow between
+        # the pair reconciles to rate 0 at the t=10 and t=20 ticks.
+        a.up_capacity_at = self._gate(a.up_capacity_at, 5.0, 25.0)
+        b.down_capacity_at = self._gate(b.down_capacity_at, 5.0, 25.0)
+
+        done = a.start_flow(b, mbit(200))  # 20 s of streaming at 10 Mbps
+        sim.run()
+
+        assert done.triggered
+        # 10 s before the t=10 tick sees the outage, stalled through
+        # the t=20 tick, capacity back at the t=30 tick, 10 s to go.
+        assert sim.now == pytest.approx(40.0)
+        assert reg.counter("flow.zero_rate_windows").value == 2
+        assert reg.counter("flow.finished").value == 1
+
+    def test_new_flow_during_outage_completes_after_recovery(self):
+        sim = Simulator()
+        net = Network(sim, make_two_node_topology(), streams=RandomStreams(1))
+        a, b = net.host("a.example"), net.host("b.example")
+        a.up_capacity_at = self._gate(a.up_capacity_at, 0.0, 15.0)
+
+        # Started at rate 0: pre-fix this raised immediately.
+        done = a.start_flow(b, mbit(100))
+        sim.run()
+        assert done.triggered
+        # Stalled until the t=20 tick, then 10 s of streaming.
+        assert sim.now == pytest.approx(30.0)
+
+
+class TestCrashDuringTransfer:
+    def test_crash_mid_transfer_times_out_deterministically(self):
+        """A destination crash mid-flow fails the transfer, not the sim.
+
+        The sender cannot observe the crash: each attempt streams to
+        completion, the unit counts as lost, and after ``max_attempts``
+        the transfer aborts at a fully deterministic time.
+        """
+        sim = Simulator()
+        net = Network(sim, make_two_node_topology(), streams=RandomStreams(1))
+        a, b = net.host("a.example"), net.host("b.example")
+        sim.call_at(5.0, b.crash)
+
+        p = sim.process(a.reliable_transfer(b, mbit(100), max_attempts=2))
+        with pytest.raises(TransferAborted):
+            sim.run(until=p)
+
+        # attempt 1: stream 0-10, loss detected, stall timeout 10;
+        # attempt 2: stream 20-30, stall timeout 10 -> abort at t=40.
+        assert sim.now == pytest.approx(40.0)
+        assert b.bits_received == 0.0
+        assert a.bits_sent == 2 * mbit(100)
+
+    def test_recovery_between_attempts_lets_transfer_finish(self):
+        sim = Simulator()
+        net = Network(sim, make_two_node_topology(), streams=RandomStreams(1))
+        a, b = net.host("a.example"), net.host("b.example")
+        b.schedule_outage(5.0, 15.0)
+
+        report = run_process(sim, a.reliable_transfer(b, mbit(100)))
+        assert report.attempts == 2
+        assert report.wasted_bits == mbit(100)
+        assert b.bits_received == mbit(100)

@@ -43,3 +43,41 @@ class TestCliConfigFile:
         ExperimentConfig(seed=11, repetitions=2).save(path)
         assert main(["fig2", "--config", str(path)]) == 0
         assert "SC7" in capsys.readouterr().out
+
+
+class TestCliMetricsOut:
+    def test_metrics_out_writes_json_with_histograms(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["fig2", "--reps", "2", "--metrics-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run metrics" in out
+
+        data = json.loads(path.read_text())
+        # The acceptance metrics: petition latency and per-part
+        # transfer time histograms, populated by the fig2 run.
+        assert data["histograms"]["overlay.petition_latency_s"]["count"] > 0
+        assert data["histograms"]["overlay.part_transfer_s"]["count"] > 0
+        assert data["counters"]["kernel.events_processed"] > 0
+        assert data["counters"]["flow.finished"] > 0
+        assert data["counters"]["broker.joins"] > 0
+
+    def test_metrics_out_csv(self, tmp_path, capsys):
+        path = tmp_path / "metrics.csv"
+        assert main(["fig2", "--reps", "1", "--metrics-out", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("kind,name,field,value")
+        assert "histogram,overlay.petition_latency_s,count," in text
+
+    def test_without_flag_no_registry_is_installed(self, capsys):
+        from repro.obs.runtime import active_registry
+
+        assert main(["table1"]) == 0
+        assert not active_registry().enabled
+
+    def test_metrics_out_bad_directory_fails_fast(self, capsys):
+        assert main(["fig2", "--metrics-out", "/nonexistent/dir/m.json"]) == 2
+        captured = capsys.readouterr()
+        assert "does not exist" in captured.err
+        assert "fig2" not in captured.out  # rejected before the run
