@@ -30,19 +30,38 @@ from repro.selection.base import SelectionContext, Workload
 from repro.selection.blind import RoundRobinSelector
 from repro.selection.evaluator import DataEvaluatorSelector
 from repro.selection.scheduling import SchedulingBasedSelector
-from repro.simnet.planetlab import BROKER_HOSTNAME, SIMPLECLIENTS, TABLE1_HOSTNAMES
+from repro.simnet.planetlab import (
+    BROKER_HOSTNAME,
+    SIMPLECLIENTS,
+    TABLE1_HOSTNAMES,
+    synthetic_hostnames,
+)
 from repro.units import mbit, to_mbit
+from repro.workloads.generator import WorkloadGenerator
 
-__all__ = ["ScaleResult", "run", "POOL_SIZES", "MODELS"]
+__all__ = [
+    "ScaleResult",
+    "run",
+    "run_large",
+    "POOL_SIZES",
+    "LARGE_POOL_SIZES",
+    "MODELS",
+]
 
 #: Candidate pool sizes: the paper's 8 SCs, and the full slice.
 POOL_SIZES: Tuple[int, ...] = (8, 16, 24)
+#: Large-pool sizes beyond the physical slice (synthetic slivers).
+LARGE_POOL_SIZES: Tuple[int, ...] = (100, 500, 1000)
 MODELS: Tuple[str, ...] = ("blind", "economic", "same_priority")
 
 PROBE_BITS = mbit(10)
 JOB_BITS = mbit(30)
 JOB_PARTS = 4
 N_JOBS = 6
+#: Jobs per (model, pool) cell in the large-pool study.
+N_JOBS_LARGE = 24
+#: Concurrent placements per wave in the large-pool study.
+CONCURRENCY = 32
 
 
 @dataclass(frozen=True)
@@ -50,6 +69,7 @@ class ScaleResult:
     """Mean cost (s/Mb) per (model, pool size)."""
 
     summaries: Mapping[str, Summary]  # key "economic/16"
+    pools: Tuple[int, ...] = POOL_SIZES
 
     def cost(self, model: str, pool: int) -> float:
         """Mean s/Mb for one cell."""
@@ -63,27 +83,34 @@ class ScaleResult:
         """Cost matrix."""
         rows = []
         for model in MODELS:
-            rows.append((model,) + tuple(self.cost(model, p) for p in POOL_SIZES))
+            rows.append((model,) + tuple(self.cost(model, p) for p in self.pools))
         rows.append(
             ("blind/economic",)
-            + tuple(self.advantage(p) for p in POOL_SIZES)
+            + tuple(self.advantage(p) for p in self.pools)
         )
-        headers = ("model",) + tuple(f"{p} peers" for p in POOL_SIZES)
+        headers = ("model",) + tuple(f"{p} peers" for p in self.pools)
         return render_table(
             headers, rows,
             title="Scale experiment — transfer cost (s/Mb) vs pool size",
         )
 
 
+#: Non-broker physical slice size (8 SCs + 16 generic Table 1 nodes).
+_REAL_POOL = len(TABLE1_HOSTNAMES) - 1
+
+
 def _pool_hostnames(pool: int) -> List[str]:
     """The first ``pool`` candidate hostnames: SCs first, then the
-    remaining Table 1 nodes in catalog order."""
+    remaining Table 1 nodes in catalog order, then synthetic slivers."""
     sc_hosts = list(SIMPLECLIENTS.values())
     others = [
         h for h in TABLE1_HOSTNAMES
         if h not in sc_hosts and h != BROKER_HOSTNAME
     ]
-    return (sc_hosts + others)[:pool]
+    names = sc_hosts + others
+    if pool > len(names):
+        names += list(synthetic_hostnames(pool - len(names)))
+    return names[:pool]
 
 
 def _make_selector(model: str, session: Session):
@@ -161,3 +188,131 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ScaleResult:
     config = replace(config, include_full_slice=True)
     rows: List[Mapping[str, float]] = run_repetitions(config, _scenario)
     return ScaleResult(summaries=average_rows(rows))
+
+
+# -- large pools (synthetic slivers) ----------------------------------------
+
+
+def _run_one_transfer(sim, broker, adv, name, bits, n_parts, results):
+    """Guarded transfer process: aborted transfers drop the sample
+    instead of failing the wave."""
+    try:
+        outcome = yield sim.process(
+            broker.transfers.send_file(adv, name, bits, n_parts=n_parts)
+        )
+    except TransferAborted:
+        return
+    results.append(outcome.transmission_time / to_mbit(bits))
+
+
+def _large_scenario(session: Session, pool: int, n_jobs: int, concurrency: int):
+    """One repetition of the large-pool study at one pool size.
+
+    Placements run ``concurrency`` at a time — unlike the sequential
+    classic scenario, waves of concurrent flows contend for the broker
+    uplink, which is exactly the regime the incremental flow scheduler
+    exists for.
+    """
+    sim = session.sim
+    broker = session.broker
+    hostnames = _pool_hostnames(pool)
+    peers = {c.host.hostname: c for c in session.clients.values()}
+
+    # Bring up everything beyond the 8 session SCs, a wave at a time.
+    pending = []
+    for hostname in hostnames:
+        if hostname in peers:
+            continue
+        peer = SimpleClient(session.network, hostname, session.ids, name=hostname)
+        peers[hostname] = peer
+        pending.append(sim.process(peer.connect(broker.advertisement())))
+        if len(pending) >= concurrency:
+            for proc in pending:
+                yield proc
+            pending = []
+    for proc in pending:
+        yield proc
+
+    # Warmup: one short probe per peer so informed models have history.
+    results: List[float] = []  # probe costs are discarded
+    pending = []
+    for hostname in hostnames:
+        pending.append(sim.process(_run_one_transfer(
+            sim, broker, peers[hostname].advertisement(),
+            f"probe-{hostname}", PROBE_BITS, 1, results,
+        )))
+        if len(pending) >= concurrency:
+            for proc in pending:
+                yield proc
+            pending = []
+    for proc in pending:
+        yield proc
+
+    # One job list per pool: every model places the same offered load.
+    gen = WorkloadGenerator(
+        session.streams.get(f"scale/jobs-{pool}"), n_parts_choices=(1, 4)
+    )
+    jobs = gen.batch(n_jobs)
+
+    pool_hosts = set(hostnames)
+    costs: Dict[str, float] = {}
+    for model in MODELS:
+        selector = _make_selector(model, session)
+        samples: List[float] = []
+        pending = []
+        for j, job in enumerate(jobs):
+            candidates = [
+                rec for rec in broker.candidates()
+                if rec.adv.hostname in pool_hosts
+            ]
+            ctx = SelectionContext(
+                broker=broker,
+                now=sim.now,
+                workload=Workload(
+                    transfer_bits=job.file.size_bits, n_parts=job.n_parts
+                ),
+                candidates=candidates,
+            )
+            record = selector.select(ctx)
+            pending.append(sim.process(_run_one_transfer(
+                sim, broker, record.adv, f"job-{model}-{pool}-{j}",
+                job.file.size_bits, job.n_parts, samples,
+            )))
+            if len(pending) >= concurrency:
+                for proc in pending:
+                    yield proc
+                pending = []
+        for proc in pending:
+            yield proc
+        if not samples:
+            raise TransferAborted(f"all {model}/{pool} placements aborted")
+        costs[f"{model}/{pool}"] = sum(samples) / len(samples)
+    return costs
+
+
+def run_large(
+    config: ExperimentConfig = ExperimentConfig(),
+    pools: Tuple[int, ...] = LARGE_POOL_SIZES,
+    n_jobs: int = N_JOBS_LARGE,
+    concurrency: int = CONCURRENCY,
+) -> ScaleResult:
+    """Run the future-work study at synthetic pool sizes (100/500/1000).
+
+    Each pool size gets its own testbed: the full Table 1 slice plus
+    enough synthetic slivers to reach ``pool`` candidates.
+    """
+    summaries: Dict[str, Summary] = {}
+    for pool in pools:
+        cfg = replace(
+            config,
+            include_full_slice=True,
+            synthetic_nodes=max(0, pool - _REAL_POOL),
+        )
+        rows: List[Mapping[str, float]] = run_repetitions(
+            cfg,
+            lambda session, pool=pool: _large_scenario(
+                session, pool, n_jobs, concurrency
+            ),
+        )
+        summaries.update(average_rows(rows))
+    return ScaleResult(summaries=summaries, pools=pools)

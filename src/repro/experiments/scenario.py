@@ -40,6 +40,9 @@ class ExperimentConfig:
     #: Include the full 25-node Table 1 slice (False = broker + SCs,
     #: matching the subset the paper's computational results use).
     include_full_slice: bool = False
+    #: Extra synthetic slivers appended to the slice (the large-pool
+    #: scale study's substrate; 0 = the paper's physical testbed).
+    synthetic_nodes: int = 0
     #: Enable structured tracing (costs memory).
     trace: bool = False
     #: Bound trace memory: keep at most this many events (None = all).
@@ -55,6 +58,8 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ConfigError("repetitions must be >= 1")
+        if self.synthetic_nodes < 0:
+            raise ConfigError("synthetic_nodes must be >= 0")
         if self.flow_tick <= 0:
             raise ConfigError("flow_tick must be > 0")
         if self.trace_capacity is not None and self.trace_capacity < 1:
@@ -76,6 +81,7 @@ class ExperimentConfig:
             "seed": self.seed,
             "repetitions": self.repetitions,
             "include_full_slice": self.include_full_slice,
+            "synthetic_nodes": self.synthetic_nodes,
             "trace": self.trace,
             "trace_capacity": self.trace_capacity,
             "trace_policy": self.trace_policy,
@@ -120,7 +126,8 @@ class Session:
     def __init__(self, config: ExperimentConfig) -> None:
         self.config = config
         self.testbed: PlanetLabTestbed = build_testbed(
-            include_full_slice=config.include_full_slice
+            include_full_slice=config.include_full_slice,
+            synthetic_nodes=config.synthetic_nodes,
         )
         #: The process-wide registry active at construction time — the
         #: shared no-op unless an experiment driver installed one.

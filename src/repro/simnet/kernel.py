@@ -64,7 +64,9 @@ class Event:
     simulation time.  Once processed it is immutable.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "name")
+    __slots__ = (
+        "sim", "callbacks", "_value", "_ok", "_scheduled", "_cancelled", "name",
+    )
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -74,6 +76,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
 
@@ -387,10 +390,12 @@ class Simulator:
         #: Lifetime counters — plain ints so the hot loop never pays for
         #: instrumentation; :meth:`flush_metrics` publishes them.
         self.events_processed = 0
+        self.events_cancelled = 0
         self.interrupts = 0
         self.max_agenda_depth = 0
         self._flushed_events = 0
         self._flushed_interrupts = 0
+        self._flushed_cancelled = 0
 
     # -- clock & introspection ---------------------------------------------
 
@@ -454,6 +459,21 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         return self.call_at(self._now + delay, fn, *args)
 
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel a scheduled callback event.
+
+        The agenda entry stays in the heap; when its time comes the
+        event is discarded without running its callbacks — O(1) cancel
+        instead of an O(n) heap removal.  Intended for timers created
+        with :meth:`call_at` / :meth:`call_in` (the flow scheduler
+        supersedes its wake-up timer this way).  Cancelling an event
+        that already ran is a no-op.  Waiting on a cancelled event is
+        undefined: it will never fire.
+        """
+        if event.callbacks is None:
+            return
+        event._cancelled = True
+
     # -- scheduling internals -------------------------------------------------
 
     def _schedule_event(
@@ -474,6 +494,11 @@ class Simulator:
         if not self._agenda:
             raise SimulationError("step() on an empty agenda")
         self._now, _prio, _seq, event = heapq.heappop(self._agenda)
+        if event._cancelled:
+            # Lazily-cancelled timer: drop it without running callbacks.
+            event.callbacks = None
+            self.events_cancelled += 1
+            return
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
@@ -550,8 +575,12 @@ class Simulator:
         reg.counter("kernel.interrupts").inc(
             self.interrupts - self._flushed_interrupts
         )
+        reg.counter("kernel.events_cancelled").inc(
+            self.events_cancelled - self._flushed_cancelled
+        )
         self._flushed_events = self.events_processed
         self._flushed_interrupts = self.interrupts
+        self._flushed_cancelled = self.events_cancelled
         reg.gauge("kernel.agenda_depth").track_max(self.max_agenda_depth)
         reg.gauge("kernel.sim_time_s").set(self._now)
 

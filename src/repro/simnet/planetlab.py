@@ -49,6 +49,7 @@ __all__ = [
     "TABLE1_HOSTNAMES",
     "PlanetLabTestbed",
     "build_testbed",
+    "synthetic_hostnames",
 ]
 
 #: Broker host (head node of the nozomi cluster at UPC, Barcelona).
@@ -288,6 +289,25 @@ def _generic_profile(hostname: str) -> _ClientProfile:
 _BROKER = _ClientProfile(0.004, 0.20, 20.0, 20.0, 0.90, 1.00, 0.001, 2.00)
 
 
+def synthetic_hostnames(n: int) -> tuple[str, ...]:
+    """``n`` synthetic sliver hostnames for large-pool studies.
+
+    The paper's future work asks for "a larger number of peer nodes"
+    than the 25-node slice; these stand in for the wider PlanetLab
+    deployment.  Hostnames cycle through the real Table 1 site domains
+    (so region/latency structure is inherited) and their behavioural
+    profiles come from the same hostname-hashed heterogeneous
+    distribution as the non-SC slice members — deterministic, with no
+    shared RNG state.
+    """
+    if n < 0:
+        raise ValueError(f"need n >= 0, got {n}")
+    suffixes = tuple(sorted(_SITE_INFO))
+    return tuple(
+        f"synth{i:04d}.{suffixes[i % len(suffixes)]}" for i in range(n)
+    )
+
+
 @dataclass
 class PlanetLabTestbed:
     """The assembled testbed: topology + role maps.
@@ -337,13 +357,20 @@ def _spec_from_profile(hostname: str, profile: _ClientProfile) -> NodeSpec:
     )
 
 
-def build_testbed(include_full_slice: bool = False) -> PlanetLabTestbed:
+def build_testbed(
+    include_full_slice: bool = False, synthetic_nodes: int = 0
+) -> PlanetLabTestbed:
     """Build the calibrated PlanetLab testbed.
 
     ``include_full_slice=False`` (default, matching the paper's
     evaluation) yields the broker + SC1..SC8; ``True`` adds the
     remaining Table 1 nodes with a generic sliver profile.
+    ``synthetic_nodes`` appends that many :func:`synthetic_hostnames`
+    slivers on top — the substrate for the 100/500/1000-peer scale
+    study.
     """
+    if synthetic_nodes < 0:
+        raise ValueError(f"need synthetic_nodes >= 0, got {synthetic_nodes}")
     topo = Topology()
     for (a, b), rtt in _REGION_RTTS.items():
         topo.set_region_rtt(a, b, rtt)
@@ -362,6 +389,9 @@ def build_testbed(include_full_slice: bool = False) -> PlanetLabTestbed:
                 topo.add_node(
                     _spec_from_profile(hostname, _generic_profile(hostname))
                 )
+
+    for hostname in synthetic_hostnames(synthetic_nodes):
+        topo.add_node(_spec_from_profile(hostname, _generic_profile(hostname)))
 
     topo.validate()
     return PlanetLabTestbed(

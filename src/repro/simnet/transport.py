@@ -9,11 +9,14 @@ into running endpoints on a simulator:
   per-node overhead + loss), bulk flows with fair bandwidth sharing,
   retransmitting reliable transfers, a CPU model for task execution,
   and crash/recover failure injection.
-* :class:`FlowScheduler` — progress-based flow simulation: at every
-  flow arrival/departure (and on a periodic tick, so that time-varying
-  sliver contention is honoured) it advances each active flow by its
-  current rate and recomputes rates as the min of equal shares at the
-  sending and receiving access links.
+* :class:`FlowScheduler` — progress-based flow simulation with
+  *incremental* fair-share accounting: a flow arrival/departure only
+  advances and re-rates the flows that share an access link with the
+  affected hosts (per-host flow sets); completions are driven by a
+  lazily-invalidated completion-horizon heap, and a periodic tick
+  resamples every flow so time-varying sliver contention is honoured.
+  Rates are the min of equal shares at the sending and receiving
+  access links.
 
 Design notes
 ------------
@@ -34,6 +37,7 @@ mechanism that reproduces Figure 5.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -117,7 +121,7 @@ class Flow:
 
     __slots__ = (
         "src", "dst", "remaining", "rate", "last_update", "done",
-        "size_bits", "started_at",
+        "size_bits", "started_at", "seq", "ver",
     )
 
     def __init__(self, src: "Host", dst: "Host", size_bits: float, done: Event) -> None:
@@ -129,16 +133,50 @@ class Flow:
         self.last_update = 0.0
         self.started_at = 0.0
         self.done = done
+        #: Monotone start-order number; the deterministic heap tiebreak.
+        self.seq = 0
+        #: Rate version; horizon-heap entries carrying an older version
+        #: are stale and skipped on pop (lazy invalidation).
+        self.ver = 0
+
+
+#: Slack (seconds) when deciding whether a heap horizon is due; absorbs
+#: the float dust of ``now + (t - now)`` round-tripping through the
+#: agenda without ever re-arming a timer for the same instant.
+_HORIZON_SLACK_S = 1e-9
+
+#: Bucket bounds for the per-event touched-flow histogram.
+_TOUCHED_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
 
 
 class FlowScheduler:
-    """Progress-based fair-share scheduler for all bulk flows.
+    """Incremental progress-based fair-share scheduler for bulk flows.
 
     Rates: each flow gets ``min(up_cap(src)/n_up(src),
     down_cap(dst)/n_down(dst))`` where the capacities are sampled from
-    the hosts' time-varying bandwidth models.  Rates are recomputed at
-    every flow arrival/departure and every ``tick`` seconds while flows
-    are active, so long transfers feel contention changes.
+    the hosts' time-varying bandwidth models.
+
+    Scheduling is *incremental*: a flow start or finish advances and
+    re-rates only the flows sharing the sending host's uplink or the
+    receiving host's downlink (the hosts' per-link flow sets) — the
+    share formula depends only on per-link flow counts and the link's
+    own capacity, so no other flow's rate can change.  Completions are
+    driven by a min-heap of completion horizons whose entries are
+    invalidated lazily via per-flow version numbers, and the single
+    wake-up timer is superseded through the kernel's lazy
+    :meth:`~repro.simnet.kernel.Simulator.cancel`.  A periodic tick
+    (every ``tick`` seconds since the last scheduler event) still
+    advances and re-rates *every* flow so long transfers feel
+    time-varying sliver contention, exactly as the previous global
+    reconcile did.
+
+    Invariants (enforced by ``tests/simnet/test_flow_properties.py``):
+
+    * a flow's progress plus its remaining bits equals its size;
+    * remaining bits never go negative (beyond float dust);
+    * the rates of the flows sharing one access link sum to at most
+      that link's sampled capacity;
+    * every started flow eventually completes once capacity returns.
     """
 
     def __init__(
@@ -151,9 +189,25 @@ class FlowScheduler:
             raise ValueError(f"tick must be > 0, got {tick}")
         self.sim = sim
         self.tick = float(tick)
-        self._flows: list[Flow] = []
-        self._timer_gen = 0
-        # Instruments are bound once here so the per-reconcile cost with
+        #: Active flows in start order (dict-as-ordered-set: iteration
+        #: order is insertion order, which keeps runs deterministic).
+        self._flows: Dict[Flow, None] = {}
+        self._seq = 0
+        #: Completion-horizon heap: ``(finish_time, seq, ver, flow)``.
+        #: ``(seq, ver)`` is unique per entry, so comparisons never
+        #: reach the Flow and ordering is deterministic.
+        self._horizon: list[tuple[float, int, int, Flow]] = []
+        #: The single pending wake-up timer (kernel event) and its time.
+        self._timer: Optional[Event] = None
+        self._timer_at = float("inf")
+        #: Absolute time of the next global resample; re-phased to
+        #: ``now + tick`` by every scheduler event, mirroring the old
+        #: global scheduler's ``min(horizon, tick)`` timer.
+        self._tick_at = float("inf")
+        #: Active flows with rate > 0; 0 with flows active = stalled.
+        self._positive_rates = 0
+        self._all_stalled = False
+        # Instruments are bound once here so the per-event cost with
         # the (default) no-op registry is a single no-op call.
         reg = metrics if metrics is not None else active_registry()
         self._m_started = reg.counter("flow.started")
@@ -162,6 +216,9 @@ class FlowScheduler:
         self._m_stalled_windows = reg.counter("flow.zero_rate_windows")
         self._m_active = reg.gauge("flow.active")
         self._m_goodput = reg.histogram("flow.goodput_mbps", DEFAULT_RATE_BUCKETS)
+        self._m_touched = reg.histogram(
+            "flow.touched_per_reconcile", _TOUCHED_BUCKETS
+        )
 
     @property
     def active_flows(self) -> int:
@@ -172,79 +229,217 @@ class FlowScheduler:
         """Begin a bulk flow; the returned event fires on completion."""
         if size_bits <= 0:
             raise ValueError(f"flow size must be > 0, got {size_bits}")
+        now = self.sim.now
         done = self.sim.event(name=f"flow {src.hostname}->{dst.hostname}")
         flow = Flow(src, dst, size_bits, done)
-        flow.last_update = self.sim.now
-        flow.started_at = self.sim.now
-        self._flows.append(flow)
-        src._up_flows += 1
-        dst._down_flows += 1
+        flow.last_update = now
+        flow.started_at = now
+        self._seq += 1
+        flow.seq = self._seq
+
+        # Only flows sharing src's uplink or dst's downlink feel the
+        # arrival; bring their progress up to now under the old shares
+        # before the counts change.
+        touched = self._link_sharers(src, dst)
+        for g in touched:
+            self._advance(g, now)
+
+        self._flows[flow] = None
+        src._up_set[flow] = None
+        dst._down_set[flow] = None
+        for g in touched:
+            self._set_rate(g, now)
+        self._set_rate(flow, now)
+
         self._m_started.inc()
         self._m_active.set(len(self._flows))
-        self._reconcile()
+        self._m_reconciles.inc()
+        self._m_touched.observe(len(touched) + 1)
+        self._after_event(now)
         return done
 
     # -- internals ----------------------------------------------------------
 
-    def _advance_progress(self, now: float) -> None:
-        for f in self._flows:
-            f.remaining -= f.rate * (now - f.last_update)
-            f.last_update = now
+    def _link_sharers(
+        self, src: "Host", dst: "Host", exclude: Optional[set] = None
+    ) -> list[Flow]:
+        """Active flows on src's uplink or dst's downlink, in start
+        order per link (uplink first), deduplicated."""
+        sharers: list[Flow] = []
+        seen: set = set() if exclude is None else exclude
+        for g in src._up_set:
+            if g not in seen:
+                seen.add(g)
+                sharers.append(g)
+        for g in dst._down_set:
+            if g not in seen:
+                seen.add(g)
+                sharers.append(g)
+        return sharers
 
-    def _recompute_rates(self, now: float) -> None:
-        for f in self._flows:
-            up_share = f.src.up_capacity_at(now) / max(1, f.src._up_flows)
-            down_share = f.dst.down_capacity_at(now) / max(1, f.dst._down_flows)
-            f.rate = min(up_share, down_share)
+    def _advance(self, f: Flow, now: float) -> None:
+        """Bring ``f``'s progress up to ``now`` at its current rate."""
+        dt = now - f.last_update
+        if dt > 0.0 and f.rate > 0.0:
+            f.remaining -= f.rate * dt
+        f.last_update = now
 
-    def _reconcile(self) -> None:
-        now = self.sim.now
-        self._m_reconciles.inc()
-        self._advance_progress(now)
+    def _set_rate(self, f: Flow, now: float) -> None:
+        """Recompute ``f``'s fair share; push a fresh horizon on change.
 
-        finished = [f for f in self._flows if f.remaining <= _EPSILON_BITS]
-        if finished:
-            self._flows = [f for f in self._flows if f.remaining > _EPSILON_BITS]
-            for f in finished:
-                f.src._up_flows -= 1
-                f.dst._down_flows -= 1
-            self._m_finished.inc(len(finished))
-            self._m_active.set(len(self._flows))
-            # Departures change shares for the survivors.
-        self._recompute_rates(now)
+        When the recomputed rate is unchanged the existing heap entry
+        stays valid (no version bump, no push) — the no-churn case that
+        makes arrivals O(flows sharing an endpoint).
+        """
+        up_share = f.src.up_capacity_at(now) / len(f.src._up_set)
+        down_share = f.dst.down_capacity_at(now) / len(f.dst._down_set)
+        rate = up_share if up_share < down_share else down_share
+        old = f.rate
+        if rate == old:
+            return
+        if (old > 0.0) != (rate > 0.0):
+            self._positive_rates += 1 if rate > 0.0 else -1
+        f.rate = rate
+        f.ver += 1
+        if rate > 0.0:
+            heapq.heappush(
+                self._horizon, (now + f.remaining / rate, f.seq, f.ver, f)
+            )
 
+    def _detach(self, f: Flow) -> None:
+        """Remove a finished flow from all live structures."""
+        del self._flows[f]
+        del f.src._up_set[f]
+        del f.dst._down_set[f]
+        if f.rate > 0.0:
+            self._positive_rates -= 1
+        f.ver += 1  # invalidate any heap entries
+
+    def _finish(self, finished: list[Flow], now: float) -> None:
+        """Complete ``finished`` flows and re-rate their link sharers."""
+        touched: list[Flow] = []
+        seen: set = set(finished)
+        for f in finished:
+            self._detach(f)
+        for f in finished:
+            touched.extend(self._link_sharers(f.src, f.dst, exclude=seen))
+        for g in touched:
+            self._advance(g, now)
+            self._set_rate(g, now)
+        self._m_finished.inc(len(finished))
+        self._m_active.set(len(self._flows))
+        self._m_touched.observe(len(finished) + len(touched))
         for f in finished:
             duration = now - f.started_at
             if duration > 0:
                 self._m_goodput.observe(f.size_bits / duration / 1e6)
             f.done.succeed(f)
 
-        self._schedule_timer()
+    def _resample_all(self, now: float) -> None:
+        """Tick: advance and re-rate every flow (contention changes)."""
+        finished: list[Flow] = []
+        for f in self._flows:
+            self._advance(f, now)
+            if f.remaining <= _EPSILON_BITS:
+                finished.append(f)
+        for f in finished:
+            self._detach(f)
+        for f in self._flows:
+            self._set_rate(f, now)
+        self._m_touched.observe(len(self._flows) + len(finished))
+        if finished:
+            self._m_finished.inc(len(finished))
+            self._m_active.set(len(self._flows))
+            for f in finished:
+                duration = now - f.started_at
+                if duration > 0:
+                    self._m_goodput.observe(f.size_bits / duration / 1e6)
+                f.done.succeed(f)
 
-    def _schedule_timer(self) -> None:
-        self._timer_gen += 1
+    def _after_event(self, now: float) -> None:
+        """Re-phase the tick, update stall state, re-arm the timer.
+
+        Called at the end of every scheduler event (arrival, completion,
+        tick).  Kept as one seam so tests can interpose invariant
+        checks on every scheduling event.
+        """
         if not self._flows:
+            self._tick_at = float("inf")
+            self._all_stalled = False
+            if self._timer is not None:
+                self.sim.cancel(self._timer)
+                self._timer = None
+                self._timer_at = float("inf")
             return
-        gen = self._timer_gen
-        horizons = [f.remaining / f.rate for f in self._flows if f.rate > 0]
-        if horizons:
-            delay = min(min(horizons), self.tick)
-        else:
-            # Every active flow is stalled at rate 0 (e.g. an outage
-            # window collapsed both access links).  Nothing will finish
-            # before capacity returns, so poll again at the tick — a
-            # bare ``min()`` here used to raise ValueError, and
-            # skipping the timer would stall the flows forever.
+        self._tick_at = now + self.tick
+        stalled = self._positive_rates == 0
+        if stalled and not self._all_stalled:
+            # Count *episodes* of total stall, not reschedules: an
+            # unrelated flow arriving during an outage must not inflate
+            # the metric.
             self._m_stalled_windows.inc()
-            delay = self.tick
-        # Guard against zero-delay livelock from float dust.
-        delay = max(delay, 1e-9)
-        self.sim.call_in(delay, self._on_timer, gen)
+        self._all_stalled = stalled
+        self._reset_timer(now)
 
-    def _on_timer(self, gen: int) -> None:
-        if gen != self._timer_gen:
-            return  # superseded by a later reconcile
-        self._reconcile()
+    def _next_horizon(self) -> float:
+        """Earliest live completion horizon (inf when none); pops stale
+        entries lazily."""
+        heap = self._horizon
+        while heap:
+            t, _seq, ver, f = heap[0]
+            if ver == f.ver and f in self._flows:
+                return t
+            heapq.heappop(heap)
+        return float("inf")
+
+    def _reset_timer(self, now: float) -> None:
+        due = self._next_horizon()
+        if self._tick_at < due:
+            due = self._tick_at
+        if due == self._timer_at and self._timer is not None:
+            return  # the pending timer is already right
+        if self._timer is not None:
+            self.sim.cancel(self._timer)
+        # Guard against zero-delay livelock from float dust.
+        at = max(due, now + _HORIZON_SLACK_S)
+        self._timer = self.sim.call_at(at, self._on_timer)
+        self._timer_at = due
+
+    def _on_timer(self) -> None:
+        now = self.sim.now
+        self._timer = None
+        self._timer_at = float("inf")
+        self._m_reconciles.inc()
+        if now + _HORIZON_SLACK_S >= self._tick_at:
+            # Periodic resample: every flow feels current contention
+            # (and any flow that crept under the epsilon completes).
+            self._resample_all(now)
+        else:
+            finished: list[Flow] = []
+            while True:
+                t = self._next_horizon()
+                if t > now + _HORIZON_SLACK_S:
+                    break
+                f = heapq.heappop(self._horizon)[3]
+                self._advance(f, now)
+                if f.remaining <= _EPSILON_BITS:
+                    finished.append(f)
+                else:
+                    # Rare float drift: the horizon was due but bits
+                    # remain.  Its live entry was just popped, so push
+                    # a fresh one unconditionally — strictly in the
+                    # future, else this loop would spin at dt == 0.
+                    f.ver += 1
+                    if f.rate > 0.0:
+                        horizon = now + f.remaining / f.rate
+                        if horizon <= now + _HORIZON_SLACK_S:
+                            horizon = now + 2.0 * _HORIZON_SLACK_S
+                        heapq.heappush(
+                            self._horizon, (horizon, f.seq, f.ver, f)
+                        )
+            if finished:
+                self._finish(finished, now)
+        self._after_event(now)
 
 
 class Host:
@@ -315,8 +510,12 @@ class Host:
         self.inbox: Store = Store(self.sim, name=f"inbox@{spec.hostname}")
         self._handlers: Dict[type, Callable[[Datagram], None]] = {}
         self.cpu = Resource(self.sim, capacity=spec.cores)
-        self._up_flows = 0
-        self._down_flows = 0
+        #: Active flows leaving/entering this host's access links, in
+        #: start order (dict-as-ordered-set; maintained by the
+        #: :class:`FlowScheduler`).  The fair share at each link is
+        #: ``capacity / len(set)``.
+        self._up_set: Dict["Flow", None] = {}
+        self._down_set: Dict["Flow", None] = {}
         self._is_up = True
 
         #: Running delivery/transfer counters (exposed for diagnostics).

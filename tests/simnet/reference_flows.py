@@ -1,0 +1,130 @@
+"""The pre-incremental global-reconcile flow scheduler, kept verbatim
+(modulo bookkeeping that moved onto :class:`Host`) as a *reference
+implementation* for differential testing.
+
+``FlowScheduler`` in :mod:`repro.simnet.transport` now only touches the
+flows sharing an access link with an arriving/finishing flow.  This
+class is the old O(active flows)-per-event scheduler: every arrival,
+completion and tick advances **all** flows and recomputes **all**
+rates.  The two must produce identical completion times whenever link
+capacities are constant between scheduler events (pinned load shares,
+or strictly sequential flows) — ``tests/simnet/test_flow_properties.py``
+asserts exactly that, and ``benchmarks/test_bench_flows.py`` uses the
+``touched_total`` counter here as the baseline for the incremental
+scheduler's touched-flow bound.
+
+Hosts no longer carry per-link flow *counts* (they carry the flow sets
+the incremental scheduler maintains), so this reference keeps its own
+count maps and never writes to ``Host`` state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.simnet.kernel import Event, Simulator
+from repro.simnet.transport import _EPSILON_BITS, Flow
+
+__all__ = ["ReferenceFlowScheduler"]
+
+
+class ReferenceFlowScheduler:
+    """Global-reconcile fair-share scheduler (the old hot path).
+
+    API-compatible with :class:`repro.simnet.transport.FlowScheduler`
+    where the rest of the stack touches it (``start_flow``,
+    ``active_flows``, constructor signature), so it can be swapped in
+    via ``monkeypatch.setattr("repro.simnet.transport.FlowScheduler",
+    ReferenceFlowScheduler)`` before building a ``Network``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tick: float = 10.0,
+        metrics: object = None,  # accepted for signature parity; unused
+    ) -> None:
+        if tick <= 0:
+            raise ValueError(f"tick must be > 0, got {tick}")
+        self.sim = sim
+        self.tick = float(tick)
+        self._flows: list[Flow] = []
+        self._up_n: Dict[object, int] = {}
+        self._down_n: Dict[object, int] = {}
+        self._timer_gen = 0
+        #: Diagnostics for the benchmark comparison.
+        self.reconciles = 0
+        self.touched_total = 0
+        self.zero_rate_windows = 0
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def start_flow(self, src, dst, size_bits: float) -> Event:
+        if size_bits <= 0:
+            raise ValueError(f"flow size must be > 0, got {size_bits}")
+        done = self.sim.event(name=f"flow {src.hostname}->{dst.hostname}")
+        flow = Flow(src, dst, size_bits, done)
+        flow.last_update = self.sim.now
+        flow.started_at = self.sim.now
+        self._flows.append(flow)
+        self._up_n[src] = self._up_n.get(src, 0) + 1
+        self._down_n[dst] = self._down_n.get(dst, 0) + 1
+        self._reconcile()
+        return done
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance_progress(self, now: float) -> None:
+        for f in self._flows:
+            f.remaining -= f.rate * (now - f.last_update)
+            f.last_update = now
+
+    def _recompute_rates(self, now: float) -> None:
+        for f in self._flows:
+            up_share = f.src.up_capacity_at(now) / max(1, self._up_n[f.src])
+            down_share = (
+                f.dst.down_capacity_at(now) / max(1, self._down_n[f.dst])
+            )
+            f.rate = min(up_share, down_share)
+
+    def _reconcile(self) -> None:
+        now = self.sim.now
+        self.reconciles += 1
+        self.touched_total += len(self._flows)
+        self._advance_progress(now)
+
+        finished = [f for f in self._flows if f.remaining <= _EPSILON_BITS]
+        if finished:
+            self._flows = [f for f in self._flows if f.remaining > _EPSILON_BITS]
+            for f in finished:
+                self._up_n[f.src] -= 1
+                self._down_n[f.dst] -= 1
+            # Departures change shares for the survivors.
+        self._recompute_rates(now)
+
+        for f in finished:
+            f.done.succeed(f)
+
+        self._schedule_timer()
+
+    def _schedule_timer(self) -> None:
+        self._timer_gen += 1
+        if not self._flows:
+            return
+        gen = self._timer_gen
+        horizons = [f.remaining / f.rate for f in self._flows if f.rate > 0]
+        if horizons:
+            delay = min(min(horizons), self.tick)
+        else:
+            # Every active flow stalled at rate 0: poll at the tick.
+            self.zero_rate_windows += 1
+            delay = self.tick
+        delay = max(delay, 1e-9)
+        self.sim.call_in(delay, self._on_timer, gen)
+
+    def _on_timer(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # superseded by a later reconcile
+        self._reconcile()

@@ -362,8 +362,39 @@ class TestZeroRateOutage:
         # 10 s before the t=10 tick sees the outage, stalled through
         # the t=20 tick, capacity back at the t=30 tick, 10 s to go.
         assert sim.now == pytest.approx(40.0)
-        assert reg.counter("flow.zero_rate_windows").value == 2
+        # One stall *episode* (entered at the t=10 tick, left at t=30),
+        # however many ticks poll it while it lasts.
+        assert reg.counter("flow.zero_rate_windows").value == 1
         assert reg.counter("flow.finished").value == 1
+
+    def test_arrivals_during_outage_do_not_inflate_stall_count(self):
+        """Regression: the stall counter counts *transitions into* the
+        all-stalled state.  Pre-fix, every reschedule while stalled
+        incremented it, so a second (equally stalled) flow arriving
+        mid-outage — plus every tick poll — inflated the metric."""
+        from repro.obs.metrics import MetricsRegistry
+
+        sim = Simulator()
+        reg = MetricsRegistry()
+        net = Network(
+            sim, make_two_node_topology(), streams=RandomStreams(1), metrics=reg
+        )
+        a, b = net.host("a.example"), net.host("b.example")
+        a.up_capacity_at = self._gate(a.up_capacity_at, 0.0, 35.0)
+
+        def driver():
+            first = a.start_flow(b, mbit(100))
+            yield 15.0  # mid-outage, already stalled
+            second = a.start_flow(b, mbit(100))
+            yield first
+            yield second
+
+        p = sim.process(driver())
+        sim.run(until=p)
+        sim.run()
+        # One outage, however many arrivals and tick polls during it.
+        assert reg.counter("flow.zero_rate_windows").value == 1
+        assert reg.counter("flow.finished").value == 2
 
     def test_new_flow_during_outage_completes_after_recovery(self):
         sim = Simulator()

@@ -31,8 +31,16 @@ class TestCli:
     def test_artifact_catalog_complete(self):
         assert set(ARTIFACTS) == {
             "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "scale", "churn",
+            "scale", "scale-large", "churn",
         }
+
+    def test_default_run_excludes_opt_in_artifacts(self):
+        from repro.__main__ import _OPT_IN
+
+        # The default "run everything" set must skip the slow opt-in
+        # artifacts (scale-large runs 100/500/1000-peer pools).
+        assert "scale-large" in _OPT_IN
+        assert _OPT_IN < set(ARTIFACTS)
 
 
 class TestCliConfigFile:
