@@ -33,8 +33,9 @@ def run_repetitions(
     per-repetition count and sim-duration histogram from here.
     """
     reg = active_registry()
-    m_reps = reg.counter("experiment.repetitions")
-    m_sim_s = reg.histogram(
+    # Cold path: bound once per experiment run, used once per repetition.
+    m_reps = reg.counter("experiment.repetitions")  # simlint: disable=SIM006 -- per-run binding, not per-event
+    m_sim_s = reg.histogram(  # simlint: disable=SIM006 -- per-run binding, not per-event
         "experiment.rep_sim_time_s",
         bounds=(1, 10, 60, 300, 600, 1800, 3600, 7200, 14400),
     )

@@ -21,10 +21,16 @@ __all__ = ["PeerGroup", "GroupRegistry"]
 
 @dataclass
 class PeerGroup:
-    """One peergroup: advertisement + members."""
+    """One peergroup: advertisement + members.
+
+    Membership is held in an insertion-ordered dict-as-set (values
+    unused): iteration order is join order, so anything downstream that
+    walks the membership — digests, pipes, selection — is deterministic
+    by construction instead of by hash seeding (simlint SIM003).
+    """
 
     adv: GroupAdvertisement
-    members: set[PeerId] = field(default_factory=set)
+    _members: Dict[PeerId, None] = field(default_factory=dict)
 
     @property
     def group_id(self) -> GroupId:
@@ -36,27 +42,32 @@ class PeerGroup:
         """Human-readable group name."""
         return self.adv.name
 
+    @property
+    def members(self) -> tuple[PeerId, ...]:
+        """Current members in join order (read-only view)."""
+        return tuple(self._members)
+
     def add(self, peer: PeerId) -> None:
         """Add a member; joining twice is an error."""
-        if peer in self.members:
+        if peer in self._members:
             raise GroupMembershipError(f"{peer} already in group {self.name!r}")
-        self.members.add(peer)
+        self._members[peer] = None
 
     def remove(self, peer: PeerId) -> None:
         """Remove a member; leaving a group you're not in is an error."""
-        if peer not in self.members:
+        if peer not in self._members:
             raise GroupMembershipError(f"{peer} not in group {self.name!r}")
-        self.members.remove(peer)
+        del self._members[peer]
 
     def __contains__(self, peer: PeerId) -> bool:
-        return peer in self.members
+        return peer in self._members
 
     def __len__(self) -> int:
-        return len(self.members)
+        return len(self._members)
 
     def member_ids(self) -> tuple[PeerId, ...]:
         """Members in a deterministic (sorted) order."""
-        return tuple(sorted(self.members))
+        return tuple(sorted(self._members))
 
 
 class GroupRegistry:
@@ -91,8 +102,8 @@ class GroupRegistry:
         """Remove a departing peer from all groups; returns # removals."""
         n = 0
         for g in self._groups.values():
-            if peer in g.members:
-                g.members.remove(peer)
+            if peer in g:
+                g.remove(peer)
                 n += 1
         return n
 

@@ -1,0 +1,44 @@
+"""repro.simlint — AST-based determinism & simulation-safety linter.
+
+The repo's headline guarantee — bit-for-bit same-seed reproducibility
+of metrics JSON and event traces — is one stray ``time.time()``,
+global ``random`` draw, or unordered-``set`` iteration away from
+silently breaking.  This package enforces those invariants statically
+(stdlib ``ast`` only, no dependencies):
+
+* a rule registry (:data:`repro.simlint.rules.RULES`, SIM001–SIM007),
+* inline ``# simlint: disable=SIM0xx -- reason`` suppressions,
+* a committed baseline for grandfathered findings,
+* text / JSON / GitHub-annotation reporters,
+* a CLI: ``python -m repro.simlint src benchmarks tests``.
+
+Programmatic use::
+
+    from repro.simlint import lint_paths, lint_source
+
+    result = lint_source("import time\\nt = time.time()\\n")
+    assert result.findings[0].rule == "SIM001"
+"""
+
+from repro.simlint.baseline import Baseline
+from repro.simlint.engine import (
+    LintError,
+    LintResult,
+    classify_scope,
+    lint_paths,
+    lint_source,
+)
+from repro.simlint.findings import Finding
+from repro.simlint.rules import RULES, RULES_BY_ID
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintError",
+    "LintResult",
+    "RULES",
+    "RULES_BY_ID",
+    "classify_scope",
+    "lint_paths",
+    "lint_source",
+]

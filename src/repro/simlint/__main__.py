@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.simlint <paths>``."""
+
+import sys
+
+from repro.simlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

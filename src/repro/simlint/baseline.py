@@ -1,0 +1,90 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets simlint be adopted on a codebase with pre-existing
+findings without a big-bang cleanup: known findings are recorded in a
+committed JSON file and only the *delta* gates CI.
+
+* a finding whose :attr:`~repro.simlint.findings.Finding.key` appears
+  in the baseline is reported as *baselined* and does not fail the run;
+* a finding absent from the baseline is *new* and fails the run;
+* a baseline entry no longer produced is *expired* — the debt was paid
+  and ``--update-baseline`` should be run to shrink the file (expired
+  entries alone never fail the run, so fixing code is always safe).
+
+The file format is deliberately dumb (sorted JSON list of keys plus
+the human-readable message at record time) so diffs review well.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.simlint.findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """The set of grandfathered finding keys."""
+
+    def __init__(self, entries: Dict[str, str], path: Path = None) -> None:
+        #: key -> message-at-record-time (informational only).
+        self.entries = dict(entries)
+        self.path = path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls({}, path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: not a simlint baseline (expected version {_VERSION})"
+            )
+        entries = {
+            item["key"]: item.get("message", "")
+            for item in data.get("entries", ())
+        }
+        return cls(entries, path=path)
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into ``(new, baselined)``."""
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for f in findings:
+            (matched if f.key in self.entries else new).append(f)
+        return new, matched
+
+    def expired(self, findings: Iterable[Finding]) -> List[str]:
+        """Baseline keys no longer produced by the current run."""
+        live = {f.key for f in findings}
+        return sorted(k for k in self.entries if k not in live)
+
+    @staticmethod
+    def write(path, findings: Iterable[Finding]) -> Path:
+        """Record ``findings`` as the new baseline at ``path``."""
+        path = Path(path)
+        entries = sorted(
+            ({"key": f.key, "message": f.message} for f in findings),
+            key=lambda e: e["key"],
+        )
+        path.write_text(
+            json.dumps({"version": _VERSION, "entries": entries}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        return path

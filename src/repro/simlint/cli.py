@@ -1,0 +1,168 @@
+"""``python -m repro.simlint`` — the command-line front end.
+
+Exit codes::
+
+    0   no unsuppressed, un-baselined findings
+    1   new findings (the CI-gating outcome)
+    2   usage error, unknown rule, unreadable/unparsable input
+
+Typical invocations::
+
+    python -m repro.simlint src benchmarks tests
+    python -m repro.simlint src --format github          # CI annotations
+    python -m repro.simlint src --select SIM003          # one rule
+    python -m repro.simlint src --update-baseline        # adopt findings
+    python -m repro.simlint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.simlint.baseline import Baseline
+from repro.simlint.engine import LintError, lint_paths
+from repro.simlint.reporters import REPORTERS
+from repro.simlint.rules import RULES
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BASELINE = "simlint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simlint",
+        description=(
+            "AST-based determinism & simulation-safety linter for the "
+            "repro codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="repository root for relative paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in RULES:
+        scopes = ",".join(sorted(rule.scopes))
+        lines.append(f"{rule.id}  {rule.title}  [scopes: {scopes}]")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _split_rules(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _emit(text: str) -> None:
+    """Print to stdout, tolerating a closed pipe (``... | head``)."""
+    try:
+        print(text)
+    except BrokenPipeError:
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _emit(_list_rules())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "python -m repro.simlint: error: no paths given "
+            "(try: src benchmarks tests)",
+            file=sys.stderr,
+        )
+        return 2
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    try:
+        result = lint_paths(
+            args.paths,
+            root=root,
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore),
+        )
+    except LintError as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = root / args.baseline
+    if args.no_baseline:
+        baseline = Baseline({})
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"simlint: error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.update_baseline:
+        Baseline.write(baseline_path, result.findings)
+        _emit(
+            f"simlint: baseline updated with {len(result.findings)} "
+            f"finding(s) at {baseline_path}"
+        )
+        return 0
+
+    new, baselined = baseline.split(result.findings)
+    expired = baseline.expired(result.findings)
+    reporter = REPORTERS[args.format]
+    _emit(reporter(new, baselined, result.suppressed, expired, result.files))
+    return 1 if new else 0

@@ -1,0 +1,510 @@
+"""The simlint analysis engine.
+
+One :class:`ModuleInfo` per linted file carries everything the rules
+need: the parsed AST, an import-alias map (so ``np.random.seed``
+resolves to ``numpy.random.seed`` whatever numpy was imported as),
+which function nodes are generators (kernel ``Process`` bodies),
+which names/attributes are statically known to be ``set``-typed, and
+the inline-suppression table scanned from comments.
+
+Suppressions
+------------
+
+``# simlint: disable=SIM001`` on any physical line of a flagged
+statement suppresses that rule there; ``disable=SIM001,SIM003``
+suppresses several, a bare ``disable`` suppresses everything on the
+line, and ``disable-file=SIM004`` anywhere in the file suppresses a
+rule file-wide.  Everything after ``--`` is a free-form justification
+(conventionally mandatory: an unexplained suppression is a review
+smell)::
+
+    started = time.perf_counter()  # simlint: disable=SIM001 -- measured wall-clock, not sim time
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.simlint.findings import Finding
+
+__all__ = [
+    "LintError",
+    "LintResult",
+    "ModuleInfo",
+    "classify_scope",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Marker for "all rules" in a suppression entry.
+ALL_RULES = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?P<filewide>-file)?"
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+)
+
+_SET_ANNOTATION_RE = re.compile(
+    r"^(?:typing\.)?(?:Set|FrozenSet|set|frozenset)\b"
+)
+
+
+class LintError(Exception):
+    """A file could not be analysed (unreadable / syntax error)."""
+
+
+# ---------------------------------------------------------------------------
+# Module analysis
+# ---------------------------------------------------------------------------
+
+
+class ModuleInfo:
+    """Parsed module plus the pre-computed facts rules consume."""
+
+    def __init__(self, source: str, path: str, scope: str) -> None:
+        self.source = source
+        self.path = path
+        self.scope = scope
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"{path}: {exc.msg} (line {exc.lineno})") from exc
+        self.imports: Dict[str, str] = {}
+        #: id(node) of FunctionDef/AsyncFunctionDef nodes that are
+        #: generators (contain a yield at their own nesting level).
+        self.generator_funcs: Set[int] = set()
+        #: id(node) of function nodes carrying any decorator (pytest
+        #: fixtures, contextmanagers, ... — not kernel processes).
+        self.decorated_funcs: Set[int] = set()
+        #: Set-typed bindings: module-level names, per-class ``self.x``
+        #: attributes, and per-function locals.  Conservative: a name
+        #: ever assigned a non-set value is vetoed.
+        self.module_sets: Set[str] = set()
+        self.class_sets: Dict[str, Set[str]] = {}
+        self.local_sets: Dict[int, Set[str]] = {}
+        #: ``(lineno, end_lineno)`` of every statement — a suppression
+        #: on any physical line of a flagged statement covers it.
+        self._stmt_spans: List[Tuple[int, int]] = []
+        self._collect_imports()
+        self._collect_generators()
+        self._collect_stmt_spans()
+        _SetBindingCollector(self).visit(self.tree)
+        (
+            self.line_suppressions,
+            self.file_suppressions,
+        ) = scan_suppressions(source)
+
+    # -- facts ------------------------------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[name] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    self.imports[name] = f"{node.module}.{alias.name}"
+
+    def _collect_stmt_spans(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.stmt) and hasattr(node, "lineno"):
+                self._stmt_spans.append(
+                    (node.lineno, node.end_lineno or node.lineno)
+                )
+
+    def _collect_generators(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.decorator_list:
+                    self.decorated_funcs.add(id(node))
+                if _has_own_yield(node):
+                    self.generator_funcs.add(id(node))
+
+    # -- helpers for rules ------------------------------------------------
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve an attribute chain to a dotted name, aliases expanded.
+
+        ``np.random.seed`` -> ``numpy.random.seed`` when the module was
+        imported as ``np``; returns None for non-Name-rooted chains.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.imports.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def is_generator(self, func: ast.AST) -> bool:
+        return id(func) in self.generator_funcs
+
+    def is_decorated(self, func: ast.AST) -> bool:
+        return id(func) in self.decorated_funcs
+
+    def is_set_typed(
+        self,
+        node: ast.AST,
+        func_stack: Sequence[ast.AST],
+        class_name: Optional[str],
+    ) -> Optional[str]:
+        """Name of the set-typed binding ``node`` reads, if known.
+
+        ``func_stack`` is the lexical chain of enclosing functions
+        (outermost first); ``class_name`` the enclosing class, used to
+        resolve ``self.x`` attribute reads.
+        """
+        if isinstance(node, ast.Name):
+            for func in reversed(func_stack):
+                if node.id in self.local_sets.get(id(func), ()):
+                    return node.id
+            if node.id in self.module_sets:
+                # Module-level sets are readable from any scope.
+                return node.id
+            return None
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and class_name is not None
+            and node.attr in self.class_sets.get(class_name, ())
+        ):
+            return f"self.{node.attr}"
+        return None
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            end_line=getattr(node, "end_lineno", None) or getattr(node, "lineno", 1),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        filewide = self.file_suppressions
+        if ALL_RULES in filewide or finding.rule in filewide:
+            return True
+        start, end = finding.line, finding.end_line
+        # Widen to the smallest enclosing statement so a trailing
+        # comment on any physical line of the statement counts.
+        best: Optional[Tuple[int, int]] = None
+        for lo, hi in self._stmt_spans:
+            if lo <= finding.line <= hi:
+                if best is None or (hi - lo) < (best[1] - best[0]):
+                    best = (lo, hi)
+        if best is not None:
+            start, end = min(start, best[0]), max(end, best[1])
+        for line in range(start, end + 1):
+            rules = self.line_suppressions.get(line)
+            if rules is not None and (ALL_RULES in rules or finding.rule in rules):
+                return True
+        return False
+
+
+def _has_own_yield(func: ast.AST) -> bool:
+    """True when ``func`` yields at its own level (not a nested def)."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def is_set_expr(node: Optional[ast.AST]) -> bool:
+    """Syntactically a set: display, comprehension, set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+def annotation_is_set(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed ASTs
+        return False
+    return bool(_SET_ANNOTATION_RE.match(text.strip()))
+
+
+class _SetBindingCollector(ast.NodeVisitor):
+    """Records which names are (only ever) bound to sets, per scope."""
+
+    def __init__(self, mod: ModuleInfo) -> None:
+        self.mod = mod
+        self._func_stack: List[ast.AST] = []
+        self._class_stack: List[str] = []
+        self._vetoed_module: Set[str] = set()
+        self._vetoed_class: Dict[str, Set[str]] = {}
+        self._vetoed_local: Dict[int, Set[str]] = {}
+
+    # -- scope bookkeeping --------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.mod.class_sets.setdefault(node.name, set())
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- bindings -----------------------------------------------------------
+
+    def _record(self, target: ast.AST, is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            if self._func_stack:
+                key = id(self._func_stack[-1])
+                bucket = self.mod.local_sets.setdefault(key, set())
+                veto = self._vetoed_local.setdefault(key, set())
+            elif self._class_stack:
+                cls = self._class_stack[-1]
+                bucket = self.mod.class_sets.setdefault(cls, set())
+                veto = self._vetoed_class.setdefault(cls, set())
+            else:
+                bucket = self.mod.module_sets
+                veto = self._vetoed_module
+            name = target.id
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self._class_stack
+        ):
+            cls = self._class_stack[-1]
+            bucket = self.mod.class_sets.setdefault(cls, set())
+            veto = self._vetoed_class.setdefault(cls, set())
+            name = target.attr
+        else:
+            return
+        if is_set:
+            bucket.add(name)
+        else:
+            veto.add(name)
+            bucket.discard(name)
+        if name in veto:
+            bucket.discard(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, is_set_expr(node.value))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if annotation_is_set(node.annotation):
+            self._record(node.target, True)
+        elif _is_set_dataclass_field(node):
+            self._record(node.target, True)
+        elif node.value is not None:
+            self._record(node.target, is_set_expr(node.value))
+        self.generic_visit(node)
+
+
+def _is_set_dataclass_field(node: ast.AnnAssign) -> bool:
+    """``x: Foo = field(default_factory=set)`` counts as set-typed."""
+    value = node.value
+    if not (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "field"
+    ):
+        return False
+    for kw in value.keywords:
+        if (
+            kw.arg == "default_factory"
+            and isinstance(kw.value, ast.Name)
+            and kw.value.id in ("set", "frozenset")
+        ):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def scan_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Parse ``# simlint: disable`` comments.
+
+    Returns ``(per_line, filewide)`` where ``per_line`` maps a physical
+    line number to the rule ids disabled there (``"*"`` = all) and
+    ``filewide`` is the set of rule ids disabled for the whole file.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    filewide: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        names = match.group("rules")
+        rules = (
+            {r.strip().upper() for r in names.split(",")}
+            if names
+            else {ALL_RULES}
+        )
+        if match.group("filewide"):
+            filewide.update(rules)
+        else:
+            per_line.setdefault(tok.start[0], set()).update(rules)
+    return per_line, filewide
+
+
+# ---------------------------------------------------------------------------
+# Lint drivers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files += other.files
+
+    def sorted(self) -> "LintResult":
+        self.findings.sort(key=Finding.sort_key)
+        self.suppressed.sort(key=Finding.sort_key)
+        return self
+
+
+def classify_scope(path: str) -> str:
+    """Map a repo-relative path to a lint scope.
+
+    ``tests/**`` -> ``test``, ``benchmarks/**`` -> ``bench``, anything
+    else (library code, examples, scripts) -> ``sim``.
+    """
+    parts = Path(path).parts
+    if "tests" in parts:
+        return "test"
+    if "benchmarks" in parts:
+        return "bench"
+    return "sim"
+
+
+def _active_rules(select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]):
+    from repro.simlint.rules import RULES
+
+    rules = list(RULES)
+    if select:
+        wanted = {r.upper() for r in select}
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise LintError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.id in wanted]
+    if ignore:
+        dropped = {r.upper() for r in ignore}
+        unknown = dropped - {r.id for r in RULES}
+        if unknown:
+            raise LintError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.id not in dropped]
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    scope: Optional[str] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint one module's source text."""
+    if scope is None:
+        scope = classify_scope(path) if path != "<memory>" else "sim"
+    mod = ModuleInfo(source, path, scope)
+    result = LintResult(files=1)
+    for rule in _active_rules(select, ignore):
+        if scope not in rule.scopes:
+            continue
+        if any(path.endswith(suffix) for suffix in rule.exclude_paths):
+            continue
+        for finding in rule.check(mod):
+            if mod.is_suppressed(finding):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    return result.sorted()
+
+
+def iter_python_files(paths: Sequence[str], root: Optional[Path] = None):
+    """Yield ``(absolute, repo_relative)`` paths, deterministically."""
+    root = (root or Path.cwd()).resolve()
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        base = p if p.is_absolute() else root / p
+        if base.is_dir():
+            for f in sorted(base.rglob("*.py")):
+                seen.setdefault(f.resolve(), None)
+        elif base.suffix == ".py" and base.exists():
+            seen.setdefault(base.resolve(), None)
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+    for f in seen:
+        try:
+            rel = f.relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        yield f, rel
+
+
+def lint_paths(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    result = LintResult()
+    for abspath, rel in iter_python_files(paths, root=root):
+        try:
+            source = abspath.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{rel}: {exc}") from exc
+        result.extend(
+            lint_source(source, path=rel, select=select, ignore=ignore)
+        )
+    return result.sorted()

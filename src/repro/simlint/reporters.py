@@ -1,0 +1,103 @@
+"""Finding reporters: human text, machine JSON, GitHub annotations.
+
+The GitHub format emits `workflow command
+<https://docs.github.com/actions/using-workflows/workflow-commands>`_
+lines (``::error file=...,line=...``) so CI findings annotate the diff
+view directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.simlint.findings import Finding
+
+__all__ = ["render_text", "render_json", "render_github", "REPORTERS"]
+
+
+def _summary(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    expired: Sequence[str],
+    files: int,
+) -> str:
+    bits = [f"{files} file(s) checked", f"{len(new)} finding(s)"]
+    if baselined:
+        bits.append(f"{len(baselined)} baselined")
+    if suppressed:
+        bits.append(f"{len(suppressed)} suppressed")
+    if expired:
+        bits.append(f"{len(expired)} baseline entr(ies) expired")
+    return "simlint: " + ", ".join(bits)
+
+
+def render_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    expired: Sequence[str],
+    files: int,
+) -> str:
+    lines: List[str] = []
+    for f in new:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}")
+    if expired:
+        lines.append("")
+        lines.append(
+            "expired baseline entries (fixed findings — run "
+            "--update-baseline to shrink the file):"
+        )
+        lines.extend(f"  {key}" for key in expired)
+    if lines:
+        lines.append("")
+    lines.append(_summary(new, baselined, suppressed, expired, files))
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    expired: Sequence[str],
+    files: int,
+) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in new],
+            "baselined": [f.to_dict() for f in baselined],
+            "suppressed": [f.to_dict() for f in suppressed],
+            "expired": list(expired),
+            "files": files,
+        },
+        indent=2,
+    )
+
+
+def render_github(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    expired: Sequence[str],
+    files: int,
+) -> str:
+    """GitHub workflow-command annotations, one per finding."""
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col + 1},"
+        f"title={f.rule}::{f.message}"
+        for f in new
+    ]
+    lines.extend(
+        f"::warning title=simlint baseline::expired baseline entry {key}"
+        for key in expired
+    )
+    lines.append(_summary(new, baselined, suppressed, expired, files))
+    return "\n".join(lines)
+
+
+REPORTERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}

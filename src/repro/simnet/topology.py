@@ -220,8 +220,10 @@ class Topology:
     def validate(self) -> None:
         """Check that every node pair has a resolvable RTT."""
         regions = {spec.site.region.name for spec in self.nodes.values()}
-        for a in regions:
-            for b in regions:
+        # Sorted so the first missing pair reported is stable across
+        # runs (set order varies with hash seeding).
+        for a in sorted(regions):
+            for b in sorted(regions):
                 key = self._key(a, b)
                 if key not in self.region_rtt and self.default_rtt is None:
                     raise ConfigError(f"missing region RTT for {key}")

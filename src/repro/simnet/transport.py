@@ -396,7 +396,7 @@ class FlowScheduler:
         due = self._next_horizon()
         if self._tick_at < due:
             due = self._tick_at
-        if due == self._timer_at and self._timer is not None:
+        if due == self._timer_at and self._timer is not None:  # simlint: disable=SIM004 -- exact copy-equality is the re-arm dedup: _timer_at was assigned from this same computation, never recomputed
             return  # the pending timer is already right
         if self._timer is not None:
             self.sim.cancel(self._timer)

@@ -23,7 +23,7 @@ class TestExperimentConfig:
         cfg = ExperimentConfig(seed=5, repetitions=3)
         seeds = {cfg.for_repetition(i).seed for i in range(3)}
         assert len(seeds) == 3
-        assert all(c != 5 for c in seeds)
+        assert 5 not in seeds
 
     def test_for_repetition_range_checked(self):
         cfg = ExperimentConfig(repetitions=2)

@@ -1,0 +1,75 @@
+"""Baseline add/expire behaviour."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.simlint import Baseline, Finding, lint_source
+
+
+def _findings(source: str, path: str = "src/mod.py"):
+    return lint_source(source, path=path, scope="sim").findings
+
+
+SRC_ONE = "import time\nt = time.time()\n"
+SRC_TWO = "import time\nt = time.time()\nu = time.monotonic()\n"
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_load_matches(self, tmp_path):
+        findings = _findings(SRC_ONE)
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, findings)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        new, matched = loaded.split(findings)
+        assert new == []
+        assert matched == findings
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+        new, matched = baseline.split(_findings(SRC_ONE))
+        assert len(new) == 1 and matched == []
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_file_is_sorted_and_stable(self, tmp_path):
+        findings = _findings(SRC_TWO)
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, reversed(findings))
+        data = json.loads(path.read_text())
+        keys = [e["key"] for e in data["entries"]]
+        assert keys == sorted(keys)
+
+
+class TestBaselineDelta:
+    def test_new_finding_not_masked_by_old_baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, _findings(SRC_ONE))
+        baseline = Baseline.load(path)
+        new, matched = baseline.split(_findings(SRC_TWO))
+        assert [f.line for f in matched] == [2]
+        assert [f.line for f in new] == [3]
+
+    def test_fixed_finding_expires(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, _findings(SRC_TWO))
+        baseline = Baseline.load(path)
+        current = _findings(SRC_ONE)
+        assert baseline.expired(current) == ["SIM001:src/mod.py:3"]
+        # Expired entries never turn a clean run into a failure.
+        new, _ = baseline.split(current)
+        assert new == []
+
+    def test_key_distinguishes_rule_path_and_line(self):
+        f = Finding(rule="SIM003", path="a/b.py", line=7, col=0, message="m")
+        assert f.key == "SIM003:a/b.py:7"
+        g = Finding(rule="SIM003", path="a/b.py", line=8, col=0, message="m")
+        assert f.key != g.key

@@ -1,0 +1,138 @@
+"""CLI behaviour: exit codes, formats, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+from repro.simlint.cli import main
+
+CLEAN = "def f(sim):\n    return sim.now\n"
+DIRTY = "import time\nt = time.time()\n"
+
+
+def write_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/ok.py": CLEAN})
+        assert main(["src", "--root", str(root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/bad.py": DIRTY})
+        assert main(["src", "--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "src/bad.py:2:5: SIM001" in out
+
+    def test_no_paths_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["nowhere", "--root", str(tmp_path)]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/broken.py": "def f(:\n"})
+        assert main(["src", "--root", str(root)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_2(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/ok.py": CLEAN})
+        assert main(["src", "--root", str(root), "--select", "SIM999"]) == 2
+
+    def test_suppressed_findings_exit_0(self, tmp_path, capsys):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/ok.py": (
+                    "import time\n"
+                    "t = time.time()  # simlint: disable=SIM001 -- measured\n"
+                )
+            },
+        )
+        assert main(["src", "--root", str(root)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_update_baseline_then_clean_run(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/bad.py": DIRTY})
+        assert main(["src", "--root", str(root)]) == 1
+        capsys.readouterr()
+        assert main(["src", "--root", str(root), "--update-baseline"]) == 0
+        assert (root / "simlint-baseline.json").exists()
+        capsys.readouterr()
+        # Grandfathered: the same finding no longer gates.
+        assert main(["src", "--root", str(root)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_still_gates_with_baseline(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/bad.py": DIRTY})
+        main(["src", "--root", str(root), "--update-baseline"])
+        write_tree(root, {"src/worse.py": "import random\nrandom.seed(1)\n"})
+        capsys.readouterr()
+        assert main(["src", "--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM002" in out and "src/bad.py" not in out.split("simlint:")[0]
+
+    def test_expired_entries_reported_not_fatal(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/bad.py": DIRTY})
+        main(["src", "--root", str(root), "--update-baseline"])
+        (root / "src/bad.py").write_text(CLEAN)
+        capsys.readouterr()
+        assert main(["src", "--root", str(root)]) == 0
+        assert "expired" in capsys.readouterr().out
+
+    def test_no_baseline_flag_ignores_file(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/bad.py": DIRTY})
+        main(["src", "--root", str(root), "--update-baseline"])
+        capsys.readouterr()
+        assert main(["src", "--root", str(root), "--no-baseline"]) == 1
+
+
+class TestFormats:
+    def test_json_format(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/bad.py": DIRTY})
+        assert main(["src", "--root", str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "SIM001"
+        assert finding["path"] == "src/bad.py"
+
+    def test_github_format_annotates(self, tmp_path, capsys):
+        root = write_tree(tmp_path, {"src/bad.py": DIRTY})
+        assert main(["src", "--root", str(root), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/bad.py,line=2," in out
+        assert "title=SIM001" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "SIM001", "SIM002", "SIM003", "SIM004",
+            "SIM005", "SIM006", "SIM007",
+        ):
+            assert rule_id in out
+
+
+class TestScopes:
+    def test_test_paths_skip_sim_only_rules(self, tmp_path, capsys):
+        # SIM004 patrols library code, not determinism tests.
+        source = "def test_t(sim):\n    assert sim.now == 5.0\n"
+        root = write_tree(
+            tmp_path,
+            {"tests/test_x.py": source, "src/lib.py": source.replace("test_t", "check")},
+        )
+        assert main(["tests", "--root", str(root)]) == 0
+        capsys.readouterr()
+        assert main(["src", "--root", str(root)]) == 1
+        assert "SIM004" in capsys.readouterr().out
