@@ -22,10 +22,13 @@ from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Dict
 
+from repro.errors import ConfigError
+from repro.faults.profiles import PROFILES, get_profile
 from repro.obs import MetricsRegistry, summary_table, use_registry, write_metrics
 from repro.experiments import (
     ExperimentConfig,
     churn,
+    resilience,
     fig2_petition,
     fig3_fulltransfer,
     fig4_lastmb,
@@ -66,10 +69,14 @@ ARTIFACTS: Dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
         _needs_config(scale.run_large),
     ),
     "churn": ("extension: selection under peer churn", _needs_config(churn.run)),
+    "resilience": (
+        "extension: selection policies x fault profiles (see --faults)",
+        _needs_config(resilience.run),
+    ),
 }
 
 #: Artifacts too expensive for the default run-everything invocation.
-_OPT_IN = frozenset({"scale-large"})
+_OPT_IN = frozenset({"scale-large", "resilience"})
 
 
 def main(argv=None) -> int:
@@ -94,6 +101,12 @@ def main(argv=None) -> int:
         help="load an ExperimentConfig JSON (overrides --seed/--reps)",
     )
     parser.add_argument(
+        "--faults", metavar="PROFILE", default=None,
+        help="install a named fault profile for the run "
+             f"({', '.join(sorted(PROFILES))}); with no artifacts "
+             "listed, runs the resilience matrix",
+    )
+    parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="collect run metrics and write them to PATH "
              "(.csv for CSV, anything else for JSON)",
@@ -108,7 +121,10 @@ def main(argv=None) -> int:
             print(f"{name:8s} {desc}")
         return 0
 
-    chosen = args.artifacts or [a for a in ARTIFACTS if a not in _OPT_IN]
+    if args.faults:
+        chosen = args.artifacts or ["resilience"]
+    else:
+        chosen = args.artifacts or [a for a in ARTIFACTS if a not in _OPT_IN]
     unknown = [a for a in chosen if a not in ARTIFACTS]
     if unknown:
         print(f"unknown artifacts: {unknown}; try --list", file=sys.stderr)
@@ -118,6 +134,15 @@ def main(argv=None) -> int:
         config = ExperimentConfig.load(args.config)
     else:
         config = ExperimentConfig(seed=args.seed, repetitions=args.reps)
+    if args.faults:
+        import dataclasses
+
+        try:
+            plan = get_profile(args.faults)
+        except ConfigError as exc:
+            print(f"--faults: {exc}", file=sys.stderr)
+            return 2
+        config = dataclasses.replace(config, fault_plan=plan)
     if args.metrics_out:
         out_dir = Path(args.metrics_out).expanduser().resolve().parent
         if not out_dir.is_dir():

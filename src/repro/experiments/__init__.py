@@ -15,14 +15,16 @@ Fig. 7    execution vs transmission & execution       :mod:`.fig7_execution`
 ========  ==========================================  ==========================
 
 Extensions beyond the paper (flagged as such): :mod:`.scale` (the
-stated future work — larger peer pools) and :mod:`.churn` (selection
-under peer churn with liveness filtering).
+stated future work — larger peer pools), :mod:`.churn` (selection
+under peer churn with liveness filtering) and :mod:`.resilience`
+(selection policies crossed with :mod:`repro.faults` profiles).
 """
 
 from repro.experiments.scenario import ExperimentConfig, Session
 from repro.experiments.runner import average_rows, run_repetitions
 from repro.experiments import (
     churn,
+    resilience,
     fig2_petition,
     fig3_fulltransfer,
     fig4_lastmb,
@@ -47,4 +49,5 @@ __all__ = [
     "fig7_execution",
     "scale",
     "churn",
+    "resilience",
 ]

@@ -28,6 +28,7 @@ from repro.errors import TransferAborted
 from repro.experiments.report import render_table
 from repro.experiments.runner import average_rows, run_repetitions
 from repro.experiments.scenario import ExperimentConfig, Session
+from repro.faults import ExponentialChurn, FaultPlan
 from repro.overlay.peer import PeerConfig
 from repro.selection.base import SelectionContext, Workload
 from repro.selection.blind import RoundRobinSelector
@@ -100,17 +101,26 @@ class ChurnResult:
 
 
 def _start_churn(session: Session) -> None:
-    """Schedule alternating up/down phases for every SimpleClient."""
-    base = session.sim.now
-    for label in session.sc_labels():
-        host = session.client(label).host
-        rng = session.streams.get(f"churn/{label}")
-        t = base + float(rng.exponential(MEAN_UP_S))
-        while t < base + CHURN_HORIZON_S:
-            down = float(rng.exponential(MEAN_DOWN_S))
-            end = t + max(down, 1.0)
-            host.schedule_outage(t, end)
-            t = end + float(rng.exponential(MEAN_UP_S))
+    """Cycle every SimpleClient through up/down phases via a FaultPlan.
+
+    ``stream_prefix="churn"`` keeps the per-label substreams (and
+    therefore the outage timings) identical to the pre-FaultPlan
+    implementation, so results are comparable across versions.
+    """
+    plan = FaultPlan(
+        name="churn",
+        processes=(
+            ExponentialChurn(
+                targets=session.sc_labels(),
+                mean_up_s=MEAN_UP_S,
+                mean_down_s=MEAN_DOWN_S,
+                horizon_s=CHURN_HORIZON_S,
+                min_down_s=1.0,
+                stream_prefix="churn",
+            ),
+        ),
+    )
+    plan.install(session)
 
 
 def _make_policy(policy: str, session: Session):

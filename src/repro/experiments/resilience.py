@@ -1,0 +1,264 @@
+"""Resilience matrix (extension): selection policies × fault profiles.
+
+Generalizes the churn experiment: instead of one hard-coded failure
+mode, every named :mod:`repro.faults` profile (plus a fault-free
+baseline) is crossed with the three paper selection policies.  Each
+cell runs its own sessions — warmup transfers build observed history,
+then a stream of placements is made by the policy while the profile's
+fault windows open and close around it.
+
+Reported per (profile, policy): completion rate, aborted transfers,
+mean transmission cost of the completed ones, mean time-to-recovery
+over fault episodes, and the episode count.  The expected shape is the
+paper's thesis under chaos: informed policies degrade gracefully
+(liveness windows screen silent crashes, observed history routes
+around stragglers and flaky links) while blind placement pays full
+price for every failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.stats import Summary
+from repro.errors import HostDownError, TransferAborted
+from repro.experiments.churn import POLICIES
+from repro.experiments.report import render_table
+from repro.experiments.runner import average_rows, run_repetitions
+from repro.experiments.scenario import ExperimentConfig, Session
+from repro.faults.profiles import get_profile
+from repro.overlay.peer import PeerConfig
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.blind import RoundRobinSelector
+from repro.selection.evaluator import DataEvaluatorSelector
+from repro.selection.scheduling import SchedulingBasedSelector
+from repro.units import mbit, to_mbit
+
+__all__ = ["ResilienceResult", "run", "DEFAULT_PROFILES", "POLICIES"]
+
+#: Matrix rows: the fault-free baseline plus every named profile.
+DEFAULT_PROFILES: Tuple[str, ...] = (
+    "baseline",
+    "straggler",
+    "flaky_links",
+    "partition_eu",
+    "broker_blip",
+)
+
+#: Liveness window for the informed policies (3 keepalive periods).
+LIVENESS_S = 90.0
+#: Workload: a stream of small transfers after a short warmup.
+N_TRANSFERS = 10
+TRANSFER_BITS = mbit(10)
+TRANSFER_PARTS = 2
+WARMUP_BITS = mbit(2)
+#: Pause between placements: stretches the run across the profiles'
+#: fault windows (mean gaps of minutes) instead of racing past them.
+PACING_S = 45.0
+
+#: Short protocol timeouts so failed attempts resolve quickly, and a
+#: bounded bulk retry budget so loss bursts abort instead of grinding.
+_RESILIENCE_PEER_CONFIG = PeerConfig(
+    petition_timeout_s=40.0,
+    petition_retries=2,
+    confirm_timeout_s=20.0,
+    confirm_retries=2,
+    bulk_max_attempts=12,
+)
+
+
+@dataclass(frozen=True)
+class ResilienceResult:
+    """Per-(profile, policy) outcomes."""
+
+    profiles: Tuple[str, ...]
+    summaries: Mapping[str, Summary]  # keys "<profile>/<policy>/<metric>"
+
+    def _mean(self, profile: str, policy: str, metric: str) -> float:
+        return self.summaries[f"{profile}/{policy}/{metric}"].mean
+
+    def completion_rate(self, profile: str, policy: str) -> float:
+        """Completed / offered."""
+        return self._mean(profile, policy, "completed") / N_TRANSFERS
+
+    def aborted(self, profile: str, policy: str) -> float:
+        """Mean number of aborted transfers."""
+        return self._mean(profile, policy, "aborted")
+
+    def cost(self, profile: str, policy: str) -> float:
+        """Mean s/Mb over completed transfers."""
+        return self._mean(profile, policy, "cost")
+
+    def recovery_s(self, profile: str, policy: str) -> float:
+        """Mean fault time-to-recovery (NaN for the baseline)."""
+        return self._mean(profile, policy, "recovery")
+
+    def episodes(self, profile: str, policy: str) -> float:
+        """Mean fault episodes per run."""
+        return self._mean(profile, policy, "episodes")
+
+    def table(self) -> str:
+        """The matrix as a text table."""
+        rows = [
+            (
+                profile,
+                policy,
+                self.completion_rate(profile, policy),
+                self.aborted(profile, policy),
+                self.cost(profile, policy),
+                self.recovery_s(profile, policy),
+                self.episodes(profile, policy),
+            )
+            for profile in self.profiles
+            for policy in POLICIES
+        ]
+        return render_table(
+            (
+                "profile", "policy", "completion rate", "aborted",
+                "cost (s/Mb)", "recovery (s)", "episodes",
+            ),
+            rows,
+            title=(
+                f"Resilience — {N_TRANSFERS} transfers per policy "
+                f"under fault profiles"
+            ),
+        )
+
+
+def _make_policy(policy: str, session: Session):
+    if policy == "blind":
+        return RoundRobinSelector()
+    if policy == "economic":
+        return SchedulingBasedSelector(reserve=False)
+    if policy == "same_priority":
+        return DataEvaluatorSelector(
+            "same_priority",
+            tiebreak_rng=session.streams.get("resilience/evaluator-ties"),
+        )
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def _candidates(policy: str, session: Session):
+    if policy == "blind":
+        # Blind: every registered peer, no liveness information.
+        return session.broker.candidates(
+            online_only=False, liveness_timeout_s=None
+        )
+    # Informed: the broker's configured liveness window applies.
+    return session.broker.candidates()
+
+
+def _scenario(policy: str):
+    """Scenario factory: one policy's transfer stream for one cell."""
+
+    def scenario(session: Session):
+        sim = session.sim
+        broker = session.broker
+        # Warmup history so informed policies start with observations;
+        # early fault windows may already bite here.
+        for label in session.sc_labels():
+            try:
+                yield sim.process(
+                    broker.transfers.send_file(
+                        session.client(label).advertisement(),
+                        f"w-{label}",
+                        WARMUP_BITS,
+                    )
+                )
+            except (TransferAborted, HostDownError):
+                pass
+
+        selector = _make_policy(policy, session)
+        completed = 0
+        aborted = 0
+        cost_total = 0.0
+        for i in range(N_TRANSFERS):
+            candidates = _candidates(policy, session)
+            if not candidates:
+                aborted += 1
+                yield PACING_S
+                continue
+            ctx = SelectionContext(
+                broker=broker,
+                now=sim.now,
+                workload=Workload(
+                    transfer_bits=TRANSFER_BITS, n_parts=TRANSFER_PARTS
+                ),
+                candidates=candidates,
+            )
+            record = selector.select(ctx)
+            try:
+                outcome = yield sim.process(
+                    broker.transfers.send_file(
+                        record.adv,
+                        f"{policy}-{i}",
+                        TRANSFER_BITS,
+                        n_parts=TRANSFER_PARTS,
+                    )
+                )
+                completed += 1
+                cost_total += outcome.transmission_time
+            except (TransferAborted, HostDownError):
+                # HostDownError = the broker itself is in an outage
+                # window; the offered transfer is lost like any other.
+                aborted += 1
+            yield PACING_S
+
+        metrics: Dict[str, float] = {
+            "completed": float(completed),
+            "aborted": float(aborted),
+            "cost": (
+                cost_total / completed / to_mbit(TRANSFER_BITS)
+                if completed
+                else float("nan")
+            ),
+        }
+        faults = session.faults
+        metrics["episodes"] = (
+            float(faults.episode_count()) if faults is not None else 0.0
+        )
+        metrics["recovery"] = (
+            faults.mean_recovery_s() if faults is not None else float("nan")
+        )
+        return metrics
+
+    return scenario
+
+
+def run(
+    config: ExperimentConfig = ExperimentConfig(),
+    profiles: Optional[Sequence[str]] = None,
+) -> ResilienceResult:
+    """Run the resilience matrix.
+
+    ``profiles`` defaults to :data:`DEFAULT_PROFILES` — unless the
+    config carries a ``fault_plan`` (e.g. from ``--faults``), in which
+    case the matrix is that plan against the fault-free baseline.
+    """
+    if profiles is None:
+        if config.fault_plan is not None:
+            profiles = ("baseline", config.fault_plan.name)
+        else:
+            profiles = DEFAULT_PROFILES
+    base = replace(
+        config,
+        peer_config=_RESILIENCE_PEER_CONFIG,
+        liveness_timeout_s=LIVENESS_S,
+    )
+    summaries: Dict[str, Summary] = {}
+    for profile in profiles:
+        if profile == "baseline":
+            plan = None
+        elif config.fault_plan is not None and profile == config.fault_plan.name:
+            plan = config.fault_plan
+        else:
+            plan = get_profile(profile)
+        cell_config = replace(base, fault_plan=plan)
+        for policy in POLICIES:
+            rows: List[Mapping[str, float]] = run_repetitions(
+                cell_config, _scenario(policy)
+            )
+            for key, summary in average_rows(rows).items():
+                summaries[f"{profile}/{policy}/{key}"] = summary
+    return ResilienceResult(profiles=tuple(profiles), summaries=summaries)

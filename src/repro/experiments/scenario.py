@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, FaultRuntime
 from repro.obs.runtime import active_registry
 from repro.obs.trace import EventTrace
 from repro.overlay.broker import Broker
@@ -54,6 +55,12 @@ class ExperimentConfig:
     flow_tick: float = 10.0
     #: Override peer protocol parameters (None = defaults).
     peer_config: Optional[PeerConfig] = None
+    #: Broker default keepalive-recency window for candidate selection
+    #: (None = no recency filter unless a caller passes one).
+    liveness_timeout_s: Optional[float] = None
+    #: Fault-injection plan, installed once the overlay is connected
+    #: (base time = end of connect); None = no injected faults.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -66,6 +73,8 @@ class ExperimentConfig:
             raise ConfigError("trace_capacity must be >= 1")
         if self.trace_policy not in ("ring", "reservoir"):
             raise ConfigError("trace_policy must be 'ring' or 'reservoir'")
+        if self.liveness_timeout_s is not None and self.liveness_timeout_s <= 0:
+            raise ConfigError("liveness_timeout_s must be > 0")
 
     def for_repetition(self, rep: int) -> "ExperimentConfig":
         """Config with the repetition-specific derived seed."""
@@ -86,9 +95,12 @@ class ExperimentConfig:
             "trace_capacity": self.trace_capacity,
             "trace_policy": self.trace_policy,
             "flow_tick": self.flow_tick,
+            "liveness_timeout_s": self.liveness_timeout_s,
         }
         if self.peer_config is not None:
             out["peer_config"] = dataclasses.asdict(self.peer_config)
+        if self.fault_plan is not None:
+            out["fault_plan"] = self.fault_plan.to_dict()
         return out
 
     @classmethod
@@ -96,12 +108,15 @@ class ExperimentConfig:
         """Inverse of :meth:`to_dict`; unknown keys are rejected."""
         data = dict(data)
         peer_config = data.pop("peer_config", None)
+        fault_plan = data.pop("fault_plan", None)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
             raise ConfigError(f"unknown config keys: {sorted(unknown)}")
         if peer_config is not None:
             data["peer_config"] = PeerConfig(**peer_config)
+        if fault_plan is not None:
+            data["fault_plan"] = FaultPlan.from_dict(fault_plan)
         return cls(**data)
 
     def save(self, path) -> None:
@@ -158,7 +173,12 @@ class Session:
             ids,
             name="broker",
             config=config.peer_config,
+            liveness_timeout_s=config.liveness_timeout_s,
         )
+        #: Fault runtimes installed on this session (the configured
+        #: plan plus any a scenario installs itself); finalized —
+        #: open episodes censored — when :meth:`run` returns.
+        self.fault_runtimes: list[FaultRuntime] = []
         self.clients: Dict[str, SimpleClient] = {
             label: SimpleClient(
                 self.network,
@@ -187,6 +207,10 @@ class Session:
 
         def main(session: "Session"):
             yield session.sim.process(session.connect_all())
+            if session.config.fault_plan is not None:
+                # Base time = overlay connected: profile timelines are
+                # relative to the moment the deployment is live.
+                session.config.fault_plan.install(session)
             result = yield session.sim.process(process_fn(session))
             return result
 
@@ -194,12 +218,19 @@ class Session:
         try:
             self.sim.run(until=p)
         finally:
+            for runtime in self.fault_runtimes:
+                runtime.finalize()
             # Publish kernel counters even when the scenario fails —
             # partial metrics beat silent gaps when debugging stalls.
             self.sim.flush_metrics()
         return p.value
 
     # -- conveniences ----------------------------------------------------------
+
+    @property
+    def faults(self) -> Optional[FaultRuntime]:
+        """The first installed fault runtime (None when fault-free)."""
+        return self.fault_runtimes[0] if self.fault_runtimes else None
 
     def sc_labels(self) -> tuple[str, ...]:
         """SC labels in numeric order."""

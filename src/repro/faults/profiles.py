@@ -1,0 +1,118 @@
+"""Named fault profiles — the ``--faults <profile>`` library.
+
+Each profile is a ready-made :class:`~repro.faults.plan.FaultPlan`
+exercising one PlanetLab failure mode the paper's testbed exhibited
+(or could have).  All profiles use *recurring* stochastic windows over
+a one-hour horizon, so they bite whenever during a run the measurement
+phase happens to fall — and every draw comes from a named substream of
+the session RNG tree, keeping runs bit-reproducible.
+
+* ``straggler`` — CPU-starvation windows on the two fastest slivers
+  (SC4, SC8): synthetic SC7s.  All peers stay up; informed selection
+  should route around them once observed history catches up.
+* ``flaky_links`` — loss bursts and bandwidth/latency degradation
+  windows across all SimpleClients: the "BitTorrent Experiments on
+  Testbeds" latency-variability regime.
+* ``partition_eu`` — recurring netsplits cutting the ``central-eu``
+  region (SC4, SC5, SC6, SC7) off from the broker's side.
+* ``broker_blip`` — short recurring broker outages: the governor
+  itself goes dark, transfers in flight stall and abort.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.faults.injectors import (
+    BrokerOutage,
+    LinkDegrade,
+    LossBurst,
+    NodeSlowdown,
+    Partition,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.processes import RandomWindows
+
+__all__ = ["PROFILES", "get_profile"]
+
+_HORIZON_S = 3600.0
+
+#: Profile name -> plan.
+PROFILES = {
+    "straggler": FaultPlan(
+        name="straggler",
+        processes=(
+            RandomWindows(
+                fault=NodeSlowdown(target="SC4", factor=25.0),
+                mean_gap_s=90.0,
+                mean_duration_s=240.0,
+                horizon_s=_HORIZON_S,
+                stream_name="faults/straggler/SC4",
+            ),
+            RandomWindows(
+                fault=NodeSlowdown(target="SC8", factor=25.0),
+                mean_gap_s=90.0,
+                mean_duration_s=240.0,
+                horizon_s=_HORIZON_S,
+                stream_name="faults/straggler/SC8",
+            ),
+        ),
+    ),
+    "flaky_links": FaultPlan(
+        name="flaky_links",
+        processes=(
+            RandomWindows(
+                fault=LossBurst(target="simpleclients", per_mb_loss=0.25),
+                mean_gap_s=120.0,
+                mean_duration_s=60.0,
+                horizon_s=_HORIZON_S,
+                stream_name="faults/flaky/loss",
+            ),
+            RandomWindows(
+                fault=LinkDegrade(
+                    target="simpleclients", bw_factor=0.35, latency_factor=3.0
+                ),
+                mean_gap_s=150.0,
+                mean_duration_s=90.0,
+                horizon_s=_HORIZON_S,
+                stream_name="faults/flaky/links",
+            ),
+        ),
+    ),
+    "partition_eu": FaultPlan(
+        name="partition_eu",
+        processes=(
+            RandomWindows(
+                fault=Partition(group_a="region:central-eu"),
+                mean_gap_s=240.0,
+                mean_duration_s=120.0,
+                min_duration_s=30.0,
+                horizon_s=_HORIZON_S,
+                stream_name="faults/partition",
+            ),
+        ),
+    ),
+    "broker_blip": FaultPlan(
+        name="broker_blip",
+        processes=(
+            RandomWindows(
+                fault=BrokerOutage(),
+                mean_gap_s=240.0,
+                mean_duration_s=30.0,
+                min_duration_s=10.0,
+                horizon_s=_HORIZON_S,
+                stream_name="faults/broker",
+            ),
+        ),
+    ),
+}
+
+
+def get_profile(name: str) -> FaultPlan:
+    """Look up a named profile (raises ConfigError for unknowns)."""
+    plan = PROFILES.get(name)
+    if plan is None:
+        raise ConfigError(
+            f"unknown fault profile {name!r}; available: "
+            f"{', '.join(sorted(PROFILES))}"
+        )
+    return plan

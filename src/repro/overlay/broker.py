@@ -44,6 +44,10 @@ from repro.simnet.transport import Datagram
 
 __all__ = ["PeerRecord", "Broker"]
 
+#: Sentinel distinguishing "caller omitted liveness_timeout_s" (use the
+#: broker's configured default) from an explicit None (no filter).
+_UNSET = object()
+
 
 @dataclass
 class PeerRecord:
@@ -125,8 +129,23 @@ class Broker(PeerNode):
 
     kind = "broker"
 
-    def __init__(self, network, hostname, ids, name=None, config=None) -> None:
+    def __init__(
+        self,
+        network,
+        hostname,
+        ids,
+        name=None,
+        config=None,
+        liveness_timeout_s: Optional[float] = None,
+    ) -> None:
         super().__init__(network, hostname, ids, name=name, config=config)
+        if liveness_timeout_s is not None and liveness_timeout_s <= 0:
+            raise ValueError(
+                f"liveness_timeout_s must be > 0, got {liveness_timeout_s}"
+            )
+        #: Default keepalive-recency window for :meth:`candidates`
+        #: (None = no recency filter unless a caller passes one).
+        self.liveness_timeout_s = liveness_timeout_s
         self.registry: Dict[PeerId, PeerRecord] = {}
         self.groups = GroupRegistry()
         #: Published advertisements by kind for discovery.
@@ -206,7 +225,7 @@ class Broker(PeerNode):
         kind: str = "simpleclient",
         online_only: bool = True,
         include_remote: bool = True,
-        liveness_timeout_s: Optional[float] = None,
+        liveness_timeout_s: object = _UNSET,
     ) -> List[PeerRecord]:
         """Peers eligible for selection, in deterministic join order.
 
@@ -215,8 +234,13 @@ class Broker(PeerNode):
         ``liveness_timeout_s`` additionally drops peers whose last sign
         of life (keepalive / report / digest) is older than the window
         — the broker's defence against silent churn: a crashed peer
-        never says goodbye, it just stops writing home.
+        never says goodbye, it just stops writing home.  When omitted,
+        the broker's configured default applies (see
+        ``ExperimentConfig.liveness_timeout_s``); pass an explicit
+        ``None`` to disable the filter regardless of the default.
         """
+        if liveness_timeout_s is _UNSET:
+            liveness_timeout_s = self.liveness_timeout_s
         now = self.sim.now
         out = [
             rec

@@ -380,6 +380,8 @@ class FileTransferService:
             n_parts=n_parts_hint,
         )
         peer.stats.pending_transfers += 1
+        backoff_s = cfg.petition_backoff_base_s
+        jitter_rng = None
         try:
             for attempt in range(1, cfg.petition_retries + 1):
                 waiter = peer.expect(("petition-ack", tid))
@@ -396,18 +398,41 @@ class FileTransferService:
                         raise TransferAborted(
                             f"{dst_host.hostname} refused transfer"
                         )
-                    outcome.petition_sent_at = sent_at
+                    # The ack may answer an *earlier* attempt that was
+                    # still in flight when this resend went out; its
+                    # reception then predates this attempt's send.
+                    # Attribute the latency to the first send (which
+                    # every ack postdates), never to a later one.
+                    sent_basis = (
+                        sent_at
+                        if ack.received_at >= sent_at
+                        else outcome.petition_sent_at
+                    )
+                    latency = ack.received_at - sent_basis
+                    outcome.petition_sent_at = sent_basis
                     outcome.petition_received_at = ack.received_at
                     outcome.ack_received_at = self.sim.now
                     outcome.petition_attempts = attempt
                     peer.observed_perf(dst_adv.peer_id).record_petition_latency(
-                        self.sim.now, ack.received_at - sent_at
+                        self.sim.now, latency
                     )
-                    self._m_petition_latency.observe(ack.received_at - sent_at)
+                    self._m_petition_latency.observe(latency)
                     self._track_outgoing(dst_adv.hostname, +1)
                     return TransferHandle(self, dst_adv, outcome)
                 peer.cancel_wait(("petition-ack", tid), waiter)
                 peer.stats.record_message(self.sim.now, ok=False)
+                if backoff_s > 0.0 and attempt < cfg.petition_retries:
+                    delay = min(backoff_s, cfg.petition_backoff_max_s)
+                    if cfg.petition_backoff_jitter > 0.0:
+                        if jitter_rng is None:
+                            jitter_rng = peer.network.streams.get(
+                                f"backoff/{peer.name}"
+                            )
+                        delay *= 1.0 + cfg.petition_backoff_jitter * float(
+                            jitter_rng.random()
+                        )
+                    yield delay
+                    backoff_s *= cfg.petition_backoff_factor
             raise TransferAborted(
                 f"petition to {dst_host.hostname} unanswered after "
                 f"{cfg.petition_retries} attempts"

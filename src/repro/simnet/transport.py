@@ -335,6 +335,21 @@ class FlowScheduler:
                 self._m_goodput.observe(f.size_bits / duration / 1e6)
             f.done.succeed(f)
 
+    def resample(self) -> None:
+        """Force an immediate advance + re-rate of every active flow.
+
+        Fault injection calls this when link capacities change out of
+        band (a :class:`~repro.faults.injectors.LinkDegrade` window
+        opening or closing) so in-flight transfers feel the new rates
+        now instead of at the next periodic tick.
+        """
+        if not self._flows:
+            return
+        now = self.sim.now
+        self._m_reconciles.inc()
+        self._resample_all(now)
+        self._after_event(now)
+
     def _resample_all(self, now: float) -> None:
         """Tick: advance and re-rate every flow (contention changes)."""
         finished: list[Flow] = []
@@ -518,6 +533,16 @@ class Host:
         self._down_set: Dict["Flow", None] = {}
         self._is_up = True
 
+        #: Fault-injection state (see :mod:`repro.faults`): CPU
+        #: slowdown stretches compute and message handling, the link
+        #: factors scale access capacity / path latency, and
+        #: ``extra_loss`` composes an additional loss model with the
+        #: node's calibrated one.
+        self.slow_factor = 1.0
+        self.link_bw_factor = 1.0
+        self.link_latency_factor = 1.0
+        self.extra_loss: Any = NoLoss()
+
         #: Running delivery/transfer counters (exposed for diagnostics).
         self.messages_sent = 0
         self.messages_received = 0
@@ -564,13 +589,45 @@ class Host:
         self.sim.call_at(start, self.crash)
         self.sim.call_at(end, self.recover)
 
+    def set_slowdown(self, factor: float) -> None:
+        """Stretch this node's CPU by ``factor`` (1.0 = nominal).
+
+        Affects :meth:`compute` durations and the receiver-overhead
+        component of message delivery — a synthetic SC7.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.slow_factor = float(factor)
+
+    def set_link_factors(
+        self, bw_factor: float = 1.0, latency_factor: float = 1.0
+    ) -> None:
+        """Scale this node's access links (1.0/1.0 = nominal).
+
+        ``bw_factor`` multiplies both access capacities;
+        ``latency_factor`` multiplies the base path latency of every
+        message into or out of this node.  The caller is responsible
+        for poking :meth:`FlowScheduler.resample` so active flows feel
+        a capacity change immediately.
+        """
+        if bw_factor <= 0 or latency_factor <= 0:
+            raise ValueError(
+                f"link factors must be > 0, got ({bw_factor}, {latency_factor})"
+            )
+        self.link_bw_factor = float(bw_factor)
+        self.link_latency_factor = float(latency_factor)
+
+    def set_extra_loss(self, model: Any) -> None:
+        """Compose an additional loss model (None clears it)."""
+        self.extra_loss = model if model is not None else NoLoss()
+
     def up_capacity_at(self, now: float) -> float:
         """Instantaneous uplink capacity (bits/s)."""
-        return self._up.rate_at(now)
+        return self._up.rate_at(now) * self.link_bw_factor
 
     def down_capacity_at(self, now: float) -> float:
         """Instantaneous downlink capacity (bits/s)."""
-        return self._down.rate_at(now)
+        return self._down.rate_at(now) * self.link_bw_factor
 
     def planned_up_bps(self) -> float:
         """Mean uplink rate — used by planning/ready-time estimators."""
@@ -627,9 +684,18 @@ class Host:
         self._m_msgs_sent.inc()
         path = self.network.topology.path(self.hostname, dst.hostname)
         handling = dst._light_overhead if light else dst._overhead
-        delay = path.base_one_way_s + handling.sample(now)
-        lost = self._loss.unit_lost(size_bits, now) or dst._loss.unit_lost(
-            size_bits, now
+        delay = (
+            path.base_one_way_s
+            * self.link_latency_factor
+            * dst.link_latency_factor
+            + handling.sample(now) * dst.slow_factor
+        )
+        lost = (
+            self._loss.unit_lost(size_bits, now)
+            or dst._loss.unit_lost(size_bits, now)
+            or self.extra_loss.unit_lost(size_bits, now)
+            or dst.extra_loss.unit_lost(size_bits, now)
+            or self.network.is_partitioned(self.hostname, dst.hostname)
         )
         self.network.tracer.record(
             "msg-send", now, src=self.hostname, dst=dst.hostname,
@@ -702,8 +768,12 @@ class Host:
             yield flow_done
             now = self.sim.now
             self.bits_sent += size_bits
-            lost = self._loss.unit_lost(size_bits, now) or dst._loss.unit_lost(
-                size_bits, now
+            lost = (
+                self._loss.unit_lost(size_bits, now)
+                or dst._loss.unit_lost(size_bits, now)
+                or self.extra_loss.unit_lost(size_bits, now)
+                or dst.extra_loss.unit_lost(size_bits, now)
+                or self.network.is_partitioned(self.hostname, dst.hostname)
             )
             if not lost and dst._is_up:
                 dst.bits_received += size_bits
@@ -762,7 +832,7 @@ class Host:
                     self.spec.load_min_share, self.spec.load_max_share
                 )
             )
-            duration = ops / (self.spec.cpu_speed * share)
+            duration = ops * self.slow_factor / (self.spec.cpu_speed * share)
             yield duration
             return duration
         finally:
@@ -796,6 +866,10 @@ class Network:
         self.metrics = metrics if metrics is not None else active_registry()
         self.flows = FlowScheduler(sim, tick=flow_tick, metrics=self.metrics)
         self._hosts: Dict[str, Host] = {}
+        #: Active partitions: token -> (group_a, group_b) hostname
+        #: frozensets.  Everything between the two groups is dropped.
+        self._partitions: Dict[int, tuple[frozenset, frozenset]] = {}
+        self._partition_seq = 0
 
     def host(self, hostname: str) -> Host:
         """Return (creating on first use) the live host for ``hostname``."""
@@ -813,3 +887,41 @@ class Network:
     def boot_all(self) -> tuple[Host, ...]:
         """Instantiate a host for every topology node."""
         return tuple(self.host(name) for name in self.topology.hostnames())
+
+    # -- partitions (fault injection) -------------------------------------------
+
+    def add_partition(self, group_a, group_b) -> int:
+        """Split the network: drop everything between the two groups.
+
+        Both groups are iterables of hostnames.  Returns a token for
+        :meth:`remove_partition`.  Partitions are unit-level: control
+        messages and bulk units crossing the cut count as lost, so
+        protocols see timeouts, not errors — exactly the failure a real
+        netsplit shows.
+        """
+        a = frozenset(group_a)
+        b = frozenset(group_b)
+        if not a or not b:
+            raise ValueError("partition groups must be non-empty")
+        overlap = a & b
+        if overlap:
+            raise ValueError(f"partition groups overlap: {sorted(overlap)}")
+        self._partition_seq += 1
+        token = self._partition_seq
+        self._partitions[token] = (a, b)
+        return token
+
+    def remove_partition(self, token: int) -> None:
+        """Heal the partition identified by ``token``."""
+        if token not in self._partitions:
+            raise ValueError(f"no active partition with token {token}")
+        del self._partitions[token]
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """True when a unit from ``a`` to ``b`` would cross a cut."""
+        if not self._partitions:
+            return False
+        for ga, gb in self._partitions.values():
+            if (a in ga and b in gb) or (a in gb and b in ga):
+                return True
+        return False

@@ -31,7 +31,7 @@ class TestCli:
     def test_artifact_catalog_complete(self):
         assert set(ARTIFACTS) == {
             "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "scale", "scale-large", "churn",
+            "scale", "scale-large", "churn", "resilience",
         }
 
     def test_default_run_excludes_opt_in_artifacts(self):
@@ -41,6 +41,30 @@ class TestCli:
         # artifacts (scale-large runs 100/500/1000-peer pools).
         assert "scale-large" in _OPT_IN
         assert _OPT_IN < set(ARTIFACTS)
+
+
+class TestCliFaults:
+    def test_unknown_profile_fails(self, capsys):
+        assert main(["fig2", "--faults", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_faults_installs_plan_on_config(self, monkeypatch):
+        # Intercept the runner: assert the config the artifact receives
+        # carries the named plan (without paying for a full matrix).
+        from repro import __main__ as cli
+
+        seen = {}
+
+        def fake_runner(config):
+            seen["plan"] = config.fault_plan
+            return "ok"
+
+        monkeypatch.setitem(
+            cli.ARTIFACTS, "resilience", ("stub", fake_runner)
+        )
+        assert main(["--faults", "straggler"]) == 0
+        assert seen["plan"] is not None
+        assert seen["plan"].name == "straggler"
 
 
 class TestCliConfigFile:
