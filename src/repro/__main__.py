@@ -107,6 +107,12 @@ def main(argv=None) -> int:
              "listed, runs the resilience matrix",
     )
     parser.add_argument(
+        "--recovery", action="store_true",
+        help="run self-healing: transfer checkpoint/resume, standby "
+             "broker failover and degraded-mode selection "
+             "(repro.recovery defaults)",
+    )
+    parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="collect run metrics and write them to PATH "
              "(.csv for CSV, anything else for JSON)",
@@ -143,6 +149,12 @@ def main(argv=None) -> int:
             print(f"--faults: {exc}", file=sys.stderr)
             return 2
         config = dataclasses.replace(config, fault_plan=plan)
+    if args.recovery:
+        import dataclasses
+
+        from repro.recovery.config import RecoveryConfig
+
+        config = dataclasses.replace(config, recovery=RecoveryConfig())
     if args.metrics_out:
         out_dir = Path(args.metrics_out).expanduser().resolve().parent
         if not out_dir.is_dir():

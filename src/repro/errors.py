@@ -30,6 +30,7 @@ __all__ = [
     "NoCandidatesError",
     "CriteriaError",
     "ConfigError",
+    "RecoveryError",
 ]
 
 
@@ -139,3 +140,13 @@ class NoCandidatesError(SelectionError):
 
 class CriteriaError(SelectionError):
     """A data-evaluator criterion is unknown or its weight is invalid."""
+
+
+# --------------------------------------------------------------------------
+# Recovery
+# --------------------------------------------------------------------------
+
+
+class RecoveryError(ReproError):
+    """Checkpoint/resume or failover bookkeeping is inconsistent
+    (ledger mismatch, duplicate proof with a different digest, ...)."""

@@ -7,13 +7,19 @@ cell runs its own sessions — warmup transfers build observed history,
 then a stream of placements is made by the policy while the profile's
 fault windows open and close around it.
 
-Reported per (profile, policy): completion rate, aborted transfers,
-mean transmission cost of the completed ones, mean time-to-recovery
-over fault episodes, and the episode count.  The expected shape is the
-paper's thesis under chaos: informed policies degrade gracefully
-(liveness windows screen silent crashes, observed history routes
-around stragglers and flaky links) while blind placement pays full
-price for every failure mode.
+When the config carries a :class:`~repro.recovery.config.RecoveryConfig`
+the cell runs *self-healing*: transfers checkpoint and resume through a
+:class:`~repro.recovery.resume.ResumableSender`, a standby broker takes
+over on primary outages, and the informed policies degrade gracefully
+when their inputs go stale.  The matrix then reports recovered-vs-lost
+work — resume counts, recovered megabits, failover latency and goodput
+— next to the classic completion/cost columns, so recovery on/off is a
+column-by-column comparison per (profile, policy) cell.
+
+Accounting is three-way: a placement is **completed**, **aborted**
+(resolved as failed), or **censored** — still in flight when the run
+deadline ends it.  Censored work is neither success nor failure; the
+completion rate is taken over resolved placements only.
 """
 
 from __future__ import annotations
@@ -22,13 +28,22 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.stats import Summary
-from repro.errors import HostDownError, TransferAborted
+from repro.errors import (
+    HostDownError,
+    SelectionError,
+    TransferAborted,
+)
 from repro.experiments.churn import POLICIES
 from repro.experiments.report import render_table
 from repro.experiments.runner import average_rows, run_repetitions
 from repro.experiments.scenario import ExperimentConfig, Session
 from repro.faults.profiles import get_profile
-from repro.overlay.peer import PeerConfig
+from repro.overlay.peer import PeerConfig, RequestTimeout
+from repro.recovery.degraded import (
+    StalenessAwareEvaluator,
+    StalenessAwareScheduler,
+)
+from repro.recovery.resume import ResumableSender
 from repro.selection.base import SelectionContext, Workload
 from repro.selection.blind import RoundRobinSelector
 from repro.selection.evaluator import DataEvaluatorSelector
@@ -56,6 +71,9 @@ WARMUP_BITS = mbit(2)
 #: Pause between placements: stretches the run across the profiles'
 #: fault windows (mean gaps of minutes) instead of racing past them.
 PACING_S = 45.0
+#: Run deadline (sim-seconds after the placement phase starts): work
+#: still in flight when it strikes is *censored*, not failed.
+RUN_DEADLINE_S = 3600.0
 
 #: Short protocol timeouts so failed attempts resolve quickly, and a
 #: bounded bulk retry budget so loss bursts abort instead of grinding.
@@ -79,12 +97,26 @@ class ResilienceResult:
         return self.summaries[f"{profile}/{policy}/{metric}"].mean
 
     def completion_rate(self, profile: str, policy: str) -> float:
-        """Completed / offered."""
-        return self._mean(profile, policy, "completed") / N_TRANSFERS
+        """Completed / resolved (censored placements excluded; NaN
+        when nothing resolved)."""
+        resolved = self._mean(profile, policy, "completed") + self._mean(
+            profile, policy, "aborted"
+        )
+        if resolved <= 0:
+            return float("nan")
+        return self._mean(profile, policy, "completed") / resolved
 
     def aborted(self, profile: str, policy: str) -> float:
-        """Mean number of aborted transfers."""
+        """Mean number of aborted (resolved-failed) transfers."""
         return self._mean(profile, policy, "aborted")
+
+    def censored(self, profile: str, policy: str) -> float:
+        """Mean transfers still in flight at the run deadline."""
+        return self._mean(profile, policy, "censored")
+
+    def offered(self, profile: str, policy: str) -> float:
+        """Mean transfers actually issued before the deadline."""
+        return self._mean(profile, policy, "offered")
 
     def cost(self, profile: str, policy: str) -> float:
         """Mean s/Mb over completed transfers."""
@@ -98,6 +130,33 @@ class ResilienceResult:
         """Mean fault episodes per run."""
         return self._mean(profile, policy, "episodes")
 
+    def resumes(self, profile: str, policy: str) -> float:
+        """Mean checkpoint-resume events (0 without recovery)."""
+        return self._mean(profile, policy, "resumes")
+
+    def recovered_mbit(self, profile: str, policy: str) -> float:
+        """Mean megabits carried over from checkpointed parts."""
+        return self._mean(profile, policy, "recovered_mbit")
+
+    def failover_s(self, profile: str, policy: str) -> float:
+        """Mean broker-failover latency (NaN when no failover)."""
+        return self._mean(profile, policy, "failover_s")
+
+    def goodput(self, profile: str, policy: str) -> float:
+        """Delivered Mb per sim-second over the placement phase."""
+        return self._mean(profile, policy, "goodput")
+
+    def goodput_retention(self, profile: str, policy: str) -> float:
+        """Goodput relative to the fault-free baseline cell (NaN when
+        the baseline was not part of the matrix)."""
+        key = f"baseline/{policy}/goodput"
+        if key not in self.summaries:
+            return float("nan")
+        base = self.summaries[key].mean
+        if not base > 0:
+            return float("nan")
+        return self.goodput(profile, policy) / base
+
     def table(self) -> str:
         """The matrix as a text table."""
         rows = [
@@ -106,8 +165,13 @@ class ResilienceResult:
                 policy,
                 self.completion_rate(profile, policy),
                 self.aborted(profile, policy),
+                self.censored(profile, policy),
                 self.cost(profile, policy),
                 self.recovery_s(profile, policy),
+                self.resumes(profile, policy),
+                self.recovered_mbit(profile, policy),
+                self.failover_s(profile, policy),
+                self.goodput(profile, policy),
                 self.episodes(profile, policy),
             )
             for profile in self.profiles
@@ -116,7 +180,9 @@ class ResilienceResult:
         return render_table(
             (
                 "profile", "policy", "completion rate", "aborted",
-                "cost (s/Mb)", "recovery (s)", "episodes",
+                "censored", "cost (s/Mb)", "recovery (s)", "resumes",
+                "recovered (Mb)", "failover (s)", "goodput (Mb/s)",
+                "episodes",
             ),
             rows,
             title=(
@@ -127,26 +193,43 @@ class ResilienceResult:
 
 
 def _make_policy(policy: str, session: Session):
+    recovery = session.config.recovery
+    degraded = recovery is not None and recovery.degraded_selection
     if policy == "blind":
+        # Blind placement consults no statistics; there is nothing to
+        # go stale and no degraded variant.
         return RoundRobinSelector()
     if policy == "economic":
+        if degraded:
+            return StalenessAwareScheduler(
+                reserve=False, budget_s=recovery.staleness_budget_s
+            )
         return SchedulingBasedSelector(reserve=False)
     if policy == "same_priority":
-        return DataEvaluatorSelector(
-            "same_priority",
-            tiebreak_rng=session.streams.get("resilience/evaluator-ties"),
-        )
+        rng = session.streams.get("resilience/evaluator-ties")
+        if degraded:
+            return StalenessAwareEvaluator(
+                "same_priority",
+                tiebreak_rng=rng,
+                budget_s=recovery.staleness_budget_s,
+            )
+        return DataEvaluatorSelector("same_priority", tiebreak_rng=rng)
     raise ValueError(f"unknown policy {policy!r}")
 
 
 def _candidates(policy: str, session: Session):
+    # The acting leader governs: after a broker failover the standby's
+    # replicated registry answers candidate queries.
+    governor = session.leader_broker
     if policy == "blind":
         # Blind: every registered peer, no liveness information.
-        return session.broker.candidates(
-            online_only=False, liveness_timeout_s=None
-        )
+        return governor.candidates(online_only=False, liveness_timeout_s=None)
     # Informed: the broker's configured liveness window applies.
-    return session.broker.candidates()
+    return governor.candidates()
+
+
+def _workload() -> Workload:
+    return Workload(transfer_bits=TRANSFER_BITS, n_parts=TRANSFER_PARTS)
 
 
 def _scenario(policy: str):
@@ -155,6 +238,7 @@ def _scenario(policy: str):
     def scenario(session: Session):
         sim = session.sim
         broker = session.broker
+        recovery = session.config.recovery
         # Warmup history so informed policies start with observations;
         # early fault windows may already bite here.
         for label in session.sc_labels():
@@ -166,53 +250,125 @@ def _scenario(policy: str):
                         WARMUP_BITS,
                     )
                 )
-            except (TransferAborted, HostDownError):
+            except (TransferAborted, HostDownError, RequestTimeout):
                 pass
 
         selector = _make_policy(policy, session)
-        completed = 0
-        aborted = 0
-        cost_total = 0.0
-        for i in range(N_TRANSFERS):
-            candidates = _candidates(policy, session)
+        sender = (
+            ResumableSender(broker, recovery) if recovery is not None else None
+        )
+
+        def pick(failed=()):
+            """One selection round against the acting leader."""
+            candidates = [
+                rec
+                for rec in _candidates(policy, session)
+                if rec.peer_id not in failed
+            ]
             if not candidates:
-                aborted += 1
-                yield PACING_S
-                continue
+                return None
             ctx = SelectionContext(
-                broker=broker,
+                broker=session.leader_broker,
                 now=sim.now,
-                workload=Workload(
-                    transfer_bits=TRANSFER_BITS, n_parts=TRANSFER_PARTS
-                ),
+                workload=_workload(),
                 candidates=candidates,
             )
-            record = selector.select(ctx)
+            try:
+                return selector.select(ctx).adv
+            except SelectionError:
+                return None
+
+        def attempt_legacy(adv, filename):
+            """Catcher: resolve one unsupervised transfer to a tag."""
             try:
                 outcome = yield sim.process(
                     broker.transfers.send_file(
-                        record.adv,
-                        f"{policy}-{i}",
-                        TRANSFER_BITS,
-                        n_parts=TRANSFER_PARTS,
+                        adv, filename, TRANSFER_BITS, n_parts=TRANSFER_PARTS
                     )
                 )
-                completed += 1
-                cost_total += outcome.transmission_time
-            except (TransferAborted, HostDownError):
+                return ("ok", outcome)
+            except (TransferAborted, HostDownError, RequestTimeout):
                 # HostDownError = the broker itself is in an outage
                 # window; the offered transfer is lost like any other.
+                return ("fail", None)
+
+        def attempt_resumed(filename):
+            out = yield sim.process(
+                sender.send_file(
+                    lambda attempt, failed: pick(failed),
+                    filename,
+                    TRANSFER_BITS,
+                    n_parts=TRANSFER_PARTS,
+                )
+            )
+            return ("resume", out)
+
+        offered = 0
+        completed = 0
+        aborted = 0
+        censored = 0
+        cost_total = 0.0
+        goodput_bits = 0.0
+        resumes = 0
+        parts_skipped = 0
+        recovered_bits = 0.0
+        phase_started = sim.now
+        deadline_at = phase_started + RUN_DEADLINE_S
+        for i in range(N_TRANSFERS):
+            if deadline_at - sim.now <= 0:
+                break
+            filename = f"{policy}-{i}"
+            if sender is not None:
+                proc = sim.process(attempt_resumed(filename))
+            else:
+                adv = pick()
+                if adv is None:
+                    offered += 1
+                    aborted += 1
+                    yield PACING_S
+                    continue
+                proc = sim.process(attempt_legacy(adv, filename))
+            offered += 1
+            yield sim.any_of([proc, sim.timeout(deadline_at - sim.now)])
+            if not proc.triggered:
+                # Still in flight when the run deadline struck: the
+                # outcome is unknown — censor, don't count as failed.
+                censored += 1
+                break
+            tag, payload = proc.value
+            if tag == "ok":
+                completed += 1
+                cost_total += payload.transmission_time
+                goodput_bits += TRANSFER_BITS
+            elif tag == "resume":
+                resumes += payload.resumes
+                parts_skipped += payload.parts_skipped
+                recovered_bits += payload.recovered_bits
+                if payload.ok:
+                    completed += 1
+                    cost_total += payload.data_seconds
+                    goodput_bits += TRANSFER_BITS
+                else:
+                    aborted += 1
+            else:
                 aborted += 1
             yield PACING_S
 
+        elapsed = max(sim.now - phase_started, 1e-9)
         metrics: Dict[str, float] = {
+            "offered": float(offered),
             "completed": float(completed),
             "aborted": float(aborted),
+            "censored": float(censored),
             "cost": (
                 cost_total / completed / to_mbit(TRANSFER_BITS)
                 if completed
                 else float("nan")
             ),
+            "goodput": to_mbit(goodput_bits) / elapsed,
+            "resumes": float(resumes),
+            "parts_skipped": float(parts_skipped),
+            "recovered_mbit": recovered_bits / 1e6,
         }
         faults = session.faults
         metrics["episodes"] = (
@@ -220,6 +376,12 @@ def _scenario(policy: str):
         )
         metrics["recovery"] = (
             faults.mean_recovery_s() if faults is not None else float("nan")
+        )
+        failover = session.failover
+        metrics["failover_s"] = (
+            failover.mean_failover_latency_s()
+            if failover is not None
+            else float("nan")
         )
         return metrics
 
@@ -234,7 +396,8 @@ def run(
 
     ``profiles`` defaults to :data:`DEFAULT_PROFILES` — unless the
     config carries a ``fault_plan`` (e.g. from ``--faults``), in which
-    case the matrix is that plan against the fault-free baseline.
+    case the matrix is that plan against the fault-free baseline.  A
+    config with ``recovery`` set runs every cell self-healing.
     """
     if profiles is None:
         if config.fault_plan is not None:

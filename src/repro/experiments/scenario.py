@@ -21,6 +21,8 @@ from repro.overlay.broker import Broker
 from repro.overlay.client import SimpleClient
 from repro.overlay.ids import IdFactory
 from repro.overlay.peer import PeerConfig
+from repro.recovery.config import RecoveryConfig
+from repro.recovery.standby import FailoverDirector
 from repro.simnet.kernel import Simulator
 from repro.simnet.planetlab import PlanetLabTestbed, build_testbed
 from repro.simnet.rng import RandomStreams
@@ -61,6 +63,9 @@ class ExperimentConfig:
     #: Fault-injection plan, installed once the overlay is connected
     #: (base time = end of connect); None = no injected faults.
     fault_plan: Optional[FaultPlan] = None
+    #: Self-healing layer (transfer resume, standby broker failover,
+    #: degraded-mode selection); None = no recovery, faults lose work.
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -101,6 +106,8 @@ class ExperimentConfig:
             out["peer_config"] = dataclasses.asdict(self.peer_config)
         if self.fault_plan is not None:
             out["fault_plan"] = self.fault_plan.to_dict()
+        if self.recovery is not None:
+            out["recovery"] = self.recovery.to_dict()
         return out
 
     @classmethod
@@ -109,6 +116,7 @@ class ExperimentConfig:
         data = dict(data)
         peer_config = data.pop("peer_config", None)
         fault_plan = data.pop("fault_plan", None)
+        recovery = data.pop("recovery", None)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -117,6 +125,8 @@ class ExperimentConfig:
             data["peer_config"] = PeerConfig(**peer_config)
         if fault_plan is not None:
             data["fault_plan"] = FaultPlan.from_dict(fault_plan)
+        if recovery is not None:
+            data["recovery"] = RecoveryConfig.from_dict(recovery)
         return cls(**data)
 
     def save(self, path) -> None:
@@ -140,9 +150,12 @@ class Session:
 
     def __init__(self, config: ExperimentConfig) -> None:
         self.config = config
+        recovery = config.recovery
+        with_standby = recovery is not None and recovery.standby_broker
         self.testbed: PlanetLabTestbed = build_testbed(
             include_full_slice=config.include_full_slice,
             synthetic_nodes=config.synthetic_nodes,
+            with_standby=with_standby,
         )
         #: The process-wide registry active at construction time — the
         #: shared no-op unless an experiment driver installed one.
@@ -175,6 +188,20 @@ class Session:
             config=config.peer_config,
             liveness_timeout_s=config.liveness_timeout_s,
         )
+        #: Standby broker + failover supervision (recovery runs only).
+        self.standby: Optional[Broker] = None
+        self.failover: Optional[FailoverDirector] = None
+        if with_standby:
+            self.standby = Broker(
+                self.network,
+                self.testbed.standby_hostname,
+                ids,
+                name="standby",
+                config=config.peer_config,
+                liveness_timeout_s=config.liveness_timeout_s,
+            )
+        if recovery is not None and recovery.partition_aware_flows:
+            self.network.enable_flow_partition_gating()
         #: Fault runtimes installed on this session (the configured
         #: plan plus any a scenario installs itself); finalized —
         #: open episodes censored — when :meth:`run` returns.
@@ -194,10 +221,29 @@ class Session:
     # -- lifecycle -----------------------------------------------------------
 
     def connect_all(self):
-        """Generator process: join every SimpleClient to the broker."""
+        """Generator process: join every SimpleClient to the broker.
+
+        With recovery configured this also starts failover supervision:
+        the primary replicates state to the standby, the standby probes
+        the primary, and every client arms the standby as its backup
+        broker.
+        """
         badv = self.broker.advertisement()
         for client in self.clients.values():
             yield self.sim.process(client.connect(badv))
+        recovery = self.config.recovery
+        if self.standby is not None and recovery is not None:
+            self.failover = FailoverDirector(
+                self.broker, self.standby, recovery
+            )
+            self.failover.start()
+            sadv = self.standby.advertisement()
+            for client in self.clients.values():
+                client.enable_failover(
+                    [sadv],
+                    check_interval_s=recovery.failover_check_interval_s,
+                    ping_timeout_s=recovery.failover_ping_timeout_s,
+                )
         self._connected = True
 
     def run(self, process_fn: Callable[["Session"], object]):
@@ -231,6 +277,14 @@ class Session:
     def faults(self) -> Optional[FaultRuntime]:
         """The first installed fault runtime (None when fault-free)."""
         return self.fault_runtimes[0] if self.fault_runtimes else None
+
+    @property
+    def leader_broker(self) -> Broker:
+        """The broker currently acting as governor (the standby after
+        a failover promotion, else the primary)."""
+        if self.failover is not None:
+            return self.failover.leader
+        return self.broker
 
     def sc_labels(self) -> tuple[str, ...]:
         """SC labels in numeric order."""

@@ -160,6 +160,14 @@ class FaultRuntime:
         testbed = self.session.testbed
         if target == "broker":
             return (testbed.broker_hostname,)
+        if target == "standby":
+            standby = getattr(testbed, "standby_hostname", None)
+            if standby is None:
+                raise ConfigError(
+                    "target 'standby' needs a testbed built with a "
+                    "standby broker (recovery.standby_broker)"
+                )
+            return (standby,)
         if target == "simpleclients":
             return tuple(testbed.simpleclients.values())
         if target in testbed.simpleclients:

@@ -37,9 +37,10 @@ from repro.overlay.messages import (
     PublishAdvertisement,
     RegistryDigest,
     StatReport,
+    StateSync,
 )
 from repro.overlay.peer import PeerNode
-from repro.overlay.statistics import PeerStats, PerformanceHistory
+from repro.overlay.statistics import PeerStats, PerformanceHistory, StalenessClock
 from repro.simnet.transport import Datagram
 
 __all__ = ["PeerRecord", "Broker"]
@@ -47,6 +48,19 @@ __all__ = ["PeerRecord", "Broker"]
 #: Sentinel distinguishing "caller omitted liveness_timeout_s" (use the
 #: broker's configured default) from an explicit None (no filter).
 _UNSET = object()
+
+#: Snapshot keys served from the broker's own interaction history in
+#: :meth:`PeerRecord.selection_snapshot` — always fresh (the broker
+#: maintains them itself), so staleness tracking exempts them.
+_INTERACTION_KEYS = (
+    "pct_messages_ok_session",
+    "pct_messages_ok_total",
+    "pct_messages_ok_last_k",
+    "pct_files_sent_session",
+    "pct_files_sent_total",
+    "pct_transfers_cancelled_session",
+    "pct_transfers_cancelled_total",
+)
 
 
 @dataclass
@@ -74,6 +88,8 @@ class PeerRecord:
     #: None for a locally registered peer; the owning broker's id for
     #: records learned through federation digests.
     home_broker: Optional[PeerId] = None
+    #: Per-input refresh times backing degraded-mode selection.
+    freshness: StalenessClock = field(default_factory=StalenessClock)
 
     @property
     def is_local(self) -> bool:
@@ -109,19 +125,21 @@ class PeerRecord:
         merged = dict(self.snapshot)
         if self.interaction is not None:
             inter = self.interaction.snapshot(now, last_k_hours=last_k_hours)
-            for key in (
-                "pct_messages_ok_session",
-                "pct_messages_ok_total",
-                "pct_messages_ok_last_k",
-                "pct_files_sent_session",
-                "pct_files_sent_total",
-                "pct_transfers_cancelled_session",
-                "pct_transfers_cancelled_total",
-            ):
+            for key in _INTERACTION_KEYS:
                 merged[key] = inter[key]
         merged.setdefault("pending_transfers", float(self.pending_transfers))
         merged.setdefault("pending_tasks", float(self.pending_tasks))
         return merged
+
+    def input_age(self, key: str, now: float) -> float:
+        """Age (seconds) of the snapshot input behind ``key``.
+
+        0.0 for interaction-backed inputs (the broker's own accounting
+        never goes stale), inf for inputs the peer has never reported.
+        """
+        if self.interaction is not None and key in _INTERACTION_KEYS:
+            return 0.0
+        return self.freshness.age(key, now)
 
 
 class Broker(PeerNode):
@@ -169,9 +187,14 @@ class Broker(PeerNode):
         h.on_message(PublishAdvertisement, self._on_publish)
         h.on_message(GroupJoinRequest, self._on_group_join)
         h.on_message(RegistryDigest, self._on_registry_digest)
+        h.on_message(StateSync, self._on_state_sync)
         #: Federated brokers: broker peer id -> advertisement.
         self.federated: Dict[PeerId, PeerAdvertisement] = {}
         self._federation_running = False
+        #: Replication targets (standby/primary): peer id -> adv.
+        self.replicas: Dict[PeerId, PeerAdvertisement] = {}
+        self._replication_running = False
+        self._replication_interval_s = 30.0
         # Governor-side instruments (no-ops unless a registry is installed).
         reg = self.metrics
         self._m_joins = reg.counter("broker.joins")
@@ -179,6 +202,7 @@ class Broker(PeerNode):
         self._m_stat_reports = reg.counter("broker.stat_reports")
         self._m_queries = reg.counter("broker.discovery_queries")
         self._m_digests = reg.counter("broker.digests_received")
+        self._m_state_syncs = reg.counter("broker.state_syncs")
         self._m_allocations = reg.counter("broker.allocations")
         self._m_registry_size = reg.gauge("broker.registry_size")
 
@@ -288,6 +312,10 @@ class Broker(PeerNode):
         else:
             rec.online = True
             rec.last_seen = now
+            if rec.home_broker is not None:
+                # Reconciliation: a direct (re-)registration outranks
+                # anything learned through federation or replication.
+                rec.home_broker = None
         self.directory[req.peer_id] = req.hostname
         src = self.network.host(dgram.src)
         self.host.send(
@@ -314,6 +342,11 @@ class Broker(PeerNode):
         rec.snapshot["inbox_len_now"] = float(beacon.inbox_len)
         rec.snapshot["pending_tasks"] = float(beacon.pending_tasks)
         rec.snapshot["pending_transfers"] = float(beacon.pending_transfers)
+        rec.freshness.note_many(
+            ("outbox_len_now", "inbox_len_now", "pending_tasks",
+             "pending_transfers"),
+            self.sim.now,
+        )
 
     def _on_stat_report(self, dgram: Datagram) -> None:
         report: StatReport = dgram.payload
@@ -323,6 +356,7 @@ class Broker(PeerNode):
             return
         rec.last_seen = self.sim.now
         rec.snapshot.update(report.counters)
+        rec.freshness.note_many(report.counters.keys(), self.sim.now)
 
     def _on_publish(self, dgram: Datagram) -> None:
         pub: PublishAdvertisement = dgram.payload
@@ -422,12 +456,29 @@ class Broker(PeerNode):
     def _on_registry_digest(self, dgram: Datagram) -> None:
         digest: RegistryDigest = dgram.payload
         self._m_digests.inc()
+        self._absorb_entries(
+            digest.broker_id, digest.entries, update_local=False
+        )
+
+    def _absorb_entries(
+        self, origin: PeerId, entries, update_local: bool
+    ) -> None:
+        """Merge registry entries gossiped by another broker.
+
+        Federation (``update_local=False``) treats local registrations
+        as authoritative and ignores gossip about them; state
+        replication (``update_local=True``) merges by recency instead —
+        a replica pair models one logical governor, so whichever side
+        heard from the peer last wins.  ``last_seen`` only ever moves
+        forward.
+        """
         now = self.sim.now
-        for entry in digest.entries:
+        for entry in entries:
             rec = self.registry.get(entry.peer_id)
-            if rec is not None and rec.is_local:
+            if rec is not None and rec.is_local and not update_local:
                 # Local registration is authoritative; ignore gossip.
                 continue
+            entry_seen = now - entry.seen_ago_s
             if rec is None:
                 adv = PeerAdvertisement(
                     published_at=now,
@@ -440,18 +491,115 @@ class Broker(PeerNode):
                 rec = PeerRecord(
                     adv=adv,
                     joined_at=now,
-                    last_seen=now,
-                    home_broker=digest.broker_id,
+                    last_seen=entry_seen,
+                    home_broker=origin,
                 )
                 rec.perf = self.observed_perf(entry.peer_id)
                 rec.interaction = self.interaction_stats(entry.hostname)
                 self.registry[entry.peer_id] = rec
                 self.directory[entry.peer_id] = entry.hostname
-            rec.online = entry.online
-            rec.last_seen = now
-            rec.pending_tasks = entry.pending_tasks
-            rec.pending_transfers = entry.pending_transfers
-            rec.snapshot.update(entry.snapshot)
+            if entry_seen >= rec.last_seen:
+                rec.online = entry.online
+                rec.pending_tasks = entry.pending_tasks
+                rec.pending_transfers = entry.pending_transfers
+                rec.snapshot.update(entry.snapshot)
+                rec.freshness.note_many(entry.snapshot.keys(), entry_seen)
+                rec.last_seen = entry_seen
+
+    # -- state replication (failover support) ----------------------------------
+
+    def replicate_to(
+        self, other: PeerAdvertisement, interval_s: float = 30.0
+    ) -> None:
+        """Periodically replicate full broker state to ``other``.
+
+        Richer than federation: the :class:`StateSync` carries registry
+        entries (with per-entry recency), the discovery index and
+        peergroup membership, so the target can take over as governor.
+        Safe to call on both sides of a pair — entries merge by recency
+        (see :meth:`_absorb_entries`).
+        """
+        if other.peer_id == self.peer_id:
+            raise ValueError("a broker cannot replicate to itself")
+        if other.kind != "broker":
+            raise ValueError(f"{other.name!r} is not a broker")
+        if interval_s <= 0:
+            raise ValueError("interval must be > 0")
+        self.learn(other)
+        self.replicas[other.peer_id] = other
+        self._replication_interval_s = interval_s
+        if not self._replication_running:
+            self._replication_running = True
+            self.sim.process(
+                self._replication_loop(), name=f"replication@{self.name}"
+            )
+        self._send_state_syncs()
+
+    def state_sync(self) -> StateSync:
+        """Snapshot this broker's replicable state."""
+        now = self.sim.now
+        entries = tuple(
+            DigestEntry(
+                peer_id=rec.peer_id,
+                name=rec.adv.name,
+                hostname=rec.adv.hostname,
+                cpu_speed=rec.adv.cpu_speed,
+                kind=rec.adv.kind,
+                online=rec.online,
+                pending_tasks=rec.pending_tasks,
+                pending_transfers=rec.pending_transfers,
+                snapshot=dict(rec.snapshot),
+                seen_ago_s=max(0.0, now - rec.last_seen),
+            )
+            for rec in self.registry.values()
+            if rec.is_local
+        )
+        advertisements = tuple(
+            (kind, adv)
+            for kind, advs in self._adv_index.items()
+            for adv in advs
+        )
+        groups = tuple(
+            (group.adv, group.member_ids()) for group in self.groups
+        )
+        return StateSync(
+            broker_id=self.peer_id,
+            entries=entries,
+            advertisements=advertisements,
+            groups=groups,
+        )
+
+    def _send_state_syncs(self) -> None:
+        if not self.host.is_up:
+            return  # outage window: replication resumes on recovery
+        sync = self.state_sync()
+        for adv in self.replicas.values():
+            dst = self.network.host(adv.hostname)
+            self.host.send(dst, sync, light=True)
+
+    def _replication_loop(self):
+        while self.online and self.replicas:
+            yield self._replication_interval_s
+            self._send_state_syncs()
+
+    def _on_state_sync(self, dgram: Datagram) -> None:
+        sync: StateSync = dgram.payload
+        self._m_state_syncs.inc()
+        self._absorb_entries(sync.broker_id, sync.entries, update_local=True)
+        for kind, adv in sync.advertisements:
+            bucket = self._adv_index.get(kind)
+            if bucket is not None and adv not in bucket:
+                bucket.append(adv)
+                if kind == "peer":
+                    self.directory.setdefault(adv.peer_id, adv.hostname)
+        for gadv, member_ids in sync.groups:
+            try:
+                group = self.groups.get(gadv.group_id)
+            except GroupMembershipError:
+                group = self.groups.create(gadv)
+            for peer_id in member_ids:
+                if peer_id not in group:
+                    group.add(peer_id)
 
     # -- group governance (local API) ------------------------------------------
 

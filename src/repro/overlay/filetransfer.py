@@ -31,10 +31,11 @@ Two sender APIs:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.errors import TransferAborted
+from repro.errors import HostDownError, TransferAborted
 from repro.overlay.advertisements import PeerAdvertisement
 from repro.overlay.ids import PeerId, TransferId
 from repro.overlay.messages import (
@@ -57,6 +58,7 @@ __all__ = [
     "TransferHandle",
     "FileTransferService",
     "split_even",
+    "part_digest",
 ]
 
 #: ``FilePetition.n_parts`` value announcing an open-ended transfer.
@@ -74,6 +76,20 @@ def split_even(total_bits: float, n_parts: int) -> List[float]:
     if n_parts < 1:
         raise ValueError(f"n_parts must be >= 1, got {n_parts}")
     return [total_bits / n_parts] * n_parts
+
+
+def part_digest(filename: str, index: int, size_bits: float) -> str:
+    """Deterministic integrity digest for one file part.
+
+    A pure function of the part's identity: both ends derive it
+    independently, the receiver echoes it in its :class:`PartConfirm`,
+    and the sender verifies the echo before checkpointing the part in a
+    :class:`~repro.recovery.ledger.TransferLedger`.  (The simulator
+    carries no real payload bytes, so the identity tuple stands in for
+    file content.)
+    """
+    text = f"{filename}|{index}|{size_bits!r}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -188,20 +204,33 @@ class TransferHandle:
         """The underlying transfer's id."""
         return self.outcome.transfer_id
 
-    def send_part(self, size_bits: float, is_last_mb: bool = False):
+    def send_part(
+        self,
+        size_bits: float,
+        is_last_mb: bool = False,
+        index: Optional[int] = None,
+    ):
         """Generator process: stream one part and await its confirm.
 
-        Returns the :class:`PartRecord`; raises
-        :class:`TransferAborted` on retry exhaustion (the handle then
-        cancels itself).
+        ``index`` defaults to the next sequential part number; a
+        resuming sender passes the original index explicitly so the
+        parts it re-sends keep their ledger identity.  Returns the
+        :class:`PartRecord`; raises :class:`TransferAborted` on retry
+        exhaustion or integrity mismatch (the handle then cancels
+        itself).
         """
         if self.closed:
             raise TransferAborted(f"transfer {self.transfer_id.short} is closed")
         peer = self.service.peer
         sim = self.service.sim
         dst_host = peer.network.host(self.dst_adv.hostname)
-        index = self._next_index
-        self._next_index += 1
+        if index is None:
+            index = self._next_index
+            self._next_index += 1
+        else:
+            if index < 0:
+                raise ValueError(f"part index must be >= 0, got {index}")
+            self._next_index = max(self._next_index, index + 1)
         rec = PartRecord(
             index=index,
             size_bits=size_bits,
@@ -220,8 +249,12 @@ class TransferHandle:
             )
             rec.attempts = report.attempts
             rec.bulk_done_at = sim.now
+            expected = part_digest(self.outcome.filename, index, size_bits)
             notice = PartNotice(
-                transfer_id=self.transfer_id, index=index, size_bits=size_bits
+                transfer_id=self.transfer_id,
+                index=index,
+                size_bits=size_bits,
+                digest=expected,
             )
             confirm: PartConfirm = yield sim.process(
                 peer.request(
@@ -235,12 +268,28 @@ class TransferHandle:
             )
             if not confirm.ok:
                 raise TransferAborted(f"part {index} rejected by receiver")
-        except TransferAborted:
+            if confirm.digest and confirm.digest != expected:
+                raise TransferAborted(f"part {index} failed integrity check")
+        except (TransferAborted, HostDownError):
+            # HostDownError: our own host crashed between retries — the
+            # cancel below still settles local accounting (the outbound
+            # TransferCancel is skipped while down).
             self.cancel("retries exhausted")
             raise
         rec.confirmed_at = sim.now
         self.outcome.parts.append(rec)
         svc = self.service
+        if svc.ledger is not None:
+            # Checkpoint: the part is verified end-to-end, a resume may
+            # skip it (possibly re-petitioning a different peer).
+            svc.ledger.record_confirmed(
+                self.outcome.filename,
+                index,
+                size_bits,
+                expected,
+                dst=self.dst_adv.peer_id,
+                now=sim.now,
+            )
         svc._m_parts_sent.inc()
         svc._m_part_bulk.observe(rec.bulk_seconds)
         svc._m_part_total.observe(rec.total_seconds)
@@ -258,13 +307,14 @@ class TransferHandle:
             return self.outcome
         peer = self.service.peer
         dst_host = peer.network.host(self.dst_adv.hostname)
-        peer.host.send(
-            dst_host,
-            TransferComplete(
-                transfer_id=self.transfer_id, n_parts_sent=self._next_index
-            ),
-            light=True,
-        )
+        if peer.host.is_up:  # down: receiver learns via its own timeouts
+            peer.host.send(
+                dst_host,
+                TransferComplete(
+                    transfer_id=self.transfer_id, n_parts_sent=self._next_index
+                ),
+                light=True,
+            )
         self.closed = True
         self.service._track_outgoing(self.dst_adv.hostname, -1)
         self.outcome.finished_at = self.service.sim.now
@@ -284,11 +334,12 @@ class TransferHandle:
             return
         peer = self.service.peer
         dst_host = peer.network.host(self.dst_adv.hostname)
-        peer.host.send(
-            dst_host,
-            TransferCancel(transfer_id=self.transfer_id, reason=reason),
-            light=True,
-        )
+        if peer.host.is_up:  # down: skip the wire, keep the accounting
+            peer.host.send(
+                dst_host,
+                TransferCancel(transfer_id=self.transfer_id, reason=reason),
+                light=True,
+            )
         self.closed = True
         self.service._track_outgoing(self.dst_adv.hostname, -1)
         self.outcome.finished_at = self.service.sim.now
@@ -323,6 +374,11 @@ class FileTransferService:
         self._m_transfers_ok = reg.counter("overlay.transfers_ok")
         self._m_transfers_cancelled = reg.counter("overlay.transfers_cancelled")
         self._incoming: Dict[TransferId, _IncomingTransfer] = {}
+        #: Optional :class:`~repro.recovery.ledger.TransferLedger` —
+        #: set by a :class:`~repro.recovery.resume.ResumableSender` to
+        #: checkpoint verified parts (duck-typed to keep the overlay
+        #: free of recovery imports).
+        self.ledger = None
         #: Waiters for inbound file completions, keyed by filename
         #: (file-sharing fetches block on these).
         self._file_waiters: Dict[str, list] = {}
@@ -437,7 +493,9 @@ class FileTransferService:
                 f"petition to {dst_host.hostname} unanswered after "
                 f"{cfg.petition_retries} attempts"
             )
-        except TransferAborted:
+        except (TransferAborted, HostDownError):
+            # HostDownError: our own host crashed mid-petition; settle
+            # the pending-transfer accounting exactly like an abort.
             peer.stats.pending_transfers -= 1
             self._m_transfers_cancelled.inc()
             peer.stats.record_file_attempt(self.sim.now, ok=False, cancelled=True)
@@ -543,6 +601,15 @@ class FileTransferService:
             index=notice.index,
             ok=True,
             received_at=self.sim.now,
+            # Independently derived (not parroted) when we hold the
+            # petition, so the sender's verification is end-to-end.
+            digest=(
+                part_digest(
+                    state.petition.filename, notice.index, notice.size_bits
+                )
+                if state is not None
+                else notice.digest
+            ),
         )
         peer.host.send(src_host, confirm, light=True)
 

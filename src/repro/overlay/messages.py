@@ -27,6 +27,7 @@ __all__ = [
     "StatReport",
     "DigestEntry",
     "RegistryDigest",
+    "StateSync",
     "DiscoveryQuery",
     "DiscoveryResponse",
     "PublishAdvertisement",
@@ -124,6 +125,11 @@ class DigestEntry:
     pending_tasks: int = 0
     pending_transfers: int = 0
     snapshot: Mapping[str, float] = field(default_factory=dict)
+    #: How stale the sender's view of this peer was when the digest was
+    #: built (``sender_now - last_seen``).  0 keeps the legacy meaning
+    #: "fresh as of digest arrival"; state replication fills it in so
+    #: the receiver can merge by recency instead of arrival order.
+    seen_ago_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -138,6 +144,26 @@ class RegistryDigest:
 
     broker_id: PeerId
     entries: Tuple["DigestEntry", ...] = ()
+
+
+@dataclass(frozen=True)
+class StateSync:
+    """Broker state replication for failover (primary <-> standby).
+
+    A richer cousin of :class:`RegistryDigest`: besides the registry
+    entries it carries the discovery index and peergroup membership, so
+    a promoted standby can answer discovery queries and group joins
+    without a warm-up round.  Entries merge by recency (via
+    :attr:`DigestEntry.seen_ago_s`), which makes replication safe in
+    both directions between a live pair.
+    """
+
+    broker_id: PeerId
+    entries: Tuple["DigestEntry", ...] = ()
+    #: Discovery index content as ``(kind, advertisement)`` pairs.
+    advertisements: Tuple[Tuple[str, Any], ...] = ()
+    #: Peergroups as ``(group advertisement, member ids)`` pairs.
+    groups: Tuple[Tuple[Any, Tuple[PeerId, ...]], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -317,6 +343,9 @@ class PartNotice:
     transfer_id: TransferId
     index: int
     size_bits: float
+    #: Integrity digest of the part (see
+    #: :func:`repro.overlay.filetransfer.part_digest`); "" = unchecked.
+    digest: str = ""
 
 
 @dataclass(frozen=True)
@@ -329,6 +358,9 @@ class PartConfirm:
     index: int
     ok: bool = True
     received_at: float = 0.0
+    #: Receiver-computed integrity digest, echoed back so the sender
+    #: can verify before checkpointing the part; "" = unchecked.
+    digest: str = ""
 
 
 @dataclass(frozen=True)

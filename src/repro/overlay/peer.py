@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from repro.errors import NotConnectedError, OverlayError, UnknownPeerError
+from repro.errors import (
+    HostDownError,
+    NotConnectedError,
+    OverlayError,
+    UnknownPeerError,
+)
 from repro.overlay.advertisements import PeerAdvertisement
 from repro.overlay.ids import IdFactory, PeerId
 from repro.overlay.messages import (
@@ -512,7 +517,9 @@ class PeerNode:
                 )
             )
             return True
-        except RequestTimeout:
+        except (RequestTimeout, HostDownError):
+            # HostDownError = our *own* host died mid-probe; treat the
+            # probe as unanswered and let the caller re-check is_up.
             return False
 
     def enable_failover(
@@ -545,6 +552,9 @@ class PeerNode:
             alive = yield self.sim.process(self.ping_broker(ping_timeout))
             if alive:
                 continue
+            if not self.host.is_up:
+                # We crashed mid-probe; the broker was never judged.
+                continue
             dead = self.broker_adv
             for backup in list(getattr(self, "_backup_brokers", [])):
                 if backup.peer_id == dead.peer_id:
@@ -557,7 +567,7 @@ class PeerNode:
                     self._backup_brokers.remove(backup)
                     self._backup_brokers.append(dead)  # demote the dead one
                     break
-                except (RequestTimeout, NotConnectedError):
+                except (RequestTimeout, NotConnectedError, HostDownError):
                     continue
             else:
                 # No backup answered: stay with the old broker and

@@ -27,7 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
 
-__all__ = ["Counters", "PeerStats", "PerformanceHistory"]
+__all__ = ["Counters", "PeerStats", "PerformanceHistory", "StalenessClock"]
 
 
 def _share(num: float, den: float, default: float = 1.0) -> float:
@@ -304,6 +304,10 @@ class PerformanceHistory:
         self.transfer_obs: Deque[tuple[float, float]] = deque(maxlen=window)
         self.latency_obs: Deque[tuple[float, float]] = deque(maxlen=window)
         self.exec_obs: Deque[tuple[float, float]] = deque(maxlen=window)
+        #: Time of the most recent observation of any kind (None until
+        #: the first one) — degraded-mode selection compares
+        #: :meth:`age` against its staleness budget.
+        self.last_observed_at: Optional[float] = None
 
     def record_transfer(self, now: float, bits: float, seconds: float) -> None:
         """One completed transfer: observed goodput."""
@@ -312,6 +316,7 @@ class PerformanceHistory:
         bps = bits / seconds
         self.transfer_bps.observe(bps)
         self.transfer_obs.append((now, bps))
+        self.last_observed_at = now
 
     def record_execution(self, now: float, ops: float, seconds: float) -> None:
         """One completed task: observed execution speed."""
@@ -320,6 +325,7 @@ class PerformanceHistory:
         rate = ops / seconds
         self.exec_ops_per_s.observe(rate)
         self.exec_obs.append((now, rate))
+        self.last_observed_at = now
 
     def record_petition_latency(self, now: float, seconds: float) -> None:
         """One observed petition round: receiver-side delivery latency."""
@@ -327,6 +333,13 @@ class PerformanceHistory:
             raise ValueError("latency must be >= 0")
         self.petition_latency_s.observe(seconds)
         self.latency_obs.append((now, seconds))
+        self.last_observed_at = now
+
+    def age(self, now: float) -> float:
+        """Seconds since the last observation (inf if never observed)."""
+        if self.last_observed_at is None:
+            return float("inf")
+        return max(0.0, now - self.last_observed_at)
 
     # -- queries ---------------------------------------------------------------
 
@@ -357,3 +370,47 @@ class PerformanceHistory:
         if t0 > t1:
             raise ValueError(f"empty window [{t0}, {t1}]")
         return [v for (t, v) in self.transfer_obs if t0 <= t <= t1]
+
+
+class StalenessClock:
+    """Last-refresh times for named statistic inputs (sim seconds).
+
+    The broker stamps each snapshot key as keepalives, stat reports and
+    replication digests land; degraded-mode selection compares
+    :meth:`age` against its staleness budget to decide which criteria
+    are still trustworthy.  Refresh times are merged monotonically, so
+    absorbing an old replication digest never rejuvenates a key.
+    """
+
+    def __init__(self) -> None:
+        self._seen: Dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def note(self, key: str, now: float) -> None:
+        """Record that ``key``'s value was refreshed at ``now``."""
+        prior = self._seen.get(key)
+        if prior is None or now > prior:
+            self._seen[key] = now
+
+    def note_many(self, keys, now: float) -> None:
+        """Refresh several keys at once."""
+        for key in keys:
+            self.note(key, now)
+
+    def age(self, key: str, now: float) -> float:
+        """Seconds since ``key`` was refreshed (inf if never)."""
+        t = self._seen.get(key)
+        if t is None:
+            return float("inf")
+        return max(0.0, now - t)
+
+    def freshest_age(self, keys, now: float) -> float:
+        """Smallest age over ``keys`` (inf for an empty set)."""
+        best = float("inf")
+        for key in keys:
+            a = self.age(key, now)
+            if a < best:
+                best = a
+        return best

@@ -1,0 +1,41 @@
+"""Self-healing: checkpoint/resume, broker failover, degraded-mode
+selection.
+
+The recovery subsystem turns the fault-injection layer's disruptions
+(:mod:`repro.faults`) from lost work into bounded delays:
+
+* :mod:`repro.recovery.ledger` — part-level transfer checkpoints with
+  integrity digests;
+* :mod:`repro.recovery.resume` — deadline-supervised delivery that
+  resumes from the last verified part, possibly via a different peer;
+* :mod:`repro.recovery.standby` — standby-broker replication and
+  deterministic leader handover;
+* :mod:`repro.recovery.degraded` — staleness-aware fallbacks for the
+  three selection models;
+* :mod:`repro.recovery.config` — the knobs, embedded in
+  :class:`~repro.experiments.scenario.ExperimentConfig`.
+"""
+
+from repro.recovery.config import RecoveryConfig
+from repro.recovery.degraded import (
+    StalenessAwareEvaluator,
+    StalenessAwarePreference,
+    StalenessAwareScheduler,
+)
+from repro.recovery.ledger import LedgerEntry, PartProof, TransferLedger
+from repro.recovery.resume import ResumableSender, ResumeOutcome
+from repro.recovery.standby import FailoverDirector, FailoverEvent
+
+__all__ = [
+    "RecoveryConfig",
+    "TransferLedger",
+    "LedgerEntry",
+    "PartProof",
+    "ResumableSender",
+    "ResumeOutcome",
+    "FailoverDirector",
+    "FailoverEvent",
+    "StalenessAwareEvaluator",
+    "StalenessAwareScheduler",
+    "StalenessAwarePreference",
+]

@@ -30,6 +30,7 @@ from repro.errors import CriteriaError
 
 __all__ = [
     "CRITERIA",
+    "CRITERION_INPUTS",
     "WEIGHT_PROFILES",
     "criterion_utility",
     "evaluate_snapshot",
@@ -89,6 +90,30 @@ CRITERIA: Dict[str, Callable[[_Snapshot], float]] = {
 }
 
 
+#: criterion name -> the snapshot keys it reads.  Degraded-mode
+#: selection (see :mod:`repro.recovery.degraded`) uses this to decide
+#: whether a criterion's inputs are stale for every candidate and can
+#: therefore be dropped from the weight mapping.
+CRITERION_INPUTS: Dict[str, tuple] = {
+    "messages_ok_session": ("pct_messages_ok_session",),
+    "messages_ok_total": ("pct_messages_ok_total",),
+    "messages_ok_last_k": ("pct_messages_ok_last_k",),
+    "outbox_now": ("outbox_len_now",),
+    "outbox_avg": ("outbox_len_avg",),
+    "inbox_now": ("inbox_len_now",),
+    "inbox_avg": ("inbox_len_avg",),
+    "tasks_ok_session": ("pct_tasks_ok_session",),
+    "tasks_ok_total": ("pct_tasks_ok_total",),
+    "tasks_accepted_session": ("pct_tasks_accepted_session",),
+    "tasks_accepted_total": ("pct_tasks_accepted_total",),
+    "files_sent_session": ("pct_files_sent_session",),
+    "files_sent_total": ("pct_files_sent_total",),
+    "transfers_cancelled_session": ("pct_transfers_cancelled_session",),
+    "transfers_cancelled_total": ("pct_transfers_cancelled_total",),
+    "pending_transfers": ("pending_transfers",),
+}
+
+
 def criterion_utility(name: str, snapshot: _Snapshot) -> float:
     """Utility of one named criterion for a snapshot (in [0, 1])."""
     fn = CRITERIA.get(name)
@@ -138,6 +163,7 @@ def register_criterion(
     fn: Callable[[_Snapshot], float],
     profiles: tuple[str, ...] = (),
     weight: float = 1.0,
+    inputs: tuple[str, ...] = (),
 ) -> None:
     """Extend the catalog with a user-defined criterion.
 
@@ -145,7 +171,9 @@ def register_criterion(
     this is the user-defined path.  ``fn`` maps a statistics snapshot
     to a utility in [0, 1] (values are clamped defensively).  Pass
     ``profiles`` to also add the criterion to named weight profiles at
-    ``weight``.  Duplicate names are rejected.
+    ``weight``, and ``inputs`` to declare the snapshot keys it reads
+    (enables staleness tracking for degraded-mode selection).
+    Duplicate names are rejected.
     """
     if not name:
         raise CriteriaError("criterion name must be non-empty")
@@ -159,6 +187,7 @@ def register_criterion(
         if profile not in WEIGHT_PROFILES:
             raise CriteriaError(f"unknown weight profile {profile!r}")
     CRITERIA[name] = fn
+    CRITERION_INPUTS[name] = tuple(inputs)
     for profile in profiles:
         WEIGHT_PROFILES[profile][name] = weight
 
@@ -170,6 +199,7 @@ def unregister_criterion(name: str) -> None:
     if name not in CRITERIA:
         raise CriteriaError(f"unknown criterion {name!r}")
     del CRITERIA[name]
+    CRITERION_INPUTS.pop(name, None)
     for profile in WEIGHT_PROFILES.values():
         profile.pop(name, None)
 

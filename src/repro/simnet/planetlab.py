@@ -46,6 +46,7 @@ __all__ = [
     "FIGURE2_PETITION_TARGETS",
     "SIMPLECLIENTS",
     "BROKER_HOSTNAME",
+    "STANDBY_HOSTNAME",
     "TABLE1_HOSTNAMES",
     "PlanetLabTestbed",
     "build_testbed",
@@ -54,6 +55,11 @@ __all__ = [
 
 #: Broker host (head node of the nozomi cluster at UPC, Barcelona).
 BROKER_HOSTNAME = "nozomi.lsi.upc.edu"
+
+#: Standby broker host for failover studies: a second node of the same
+#: nozomi cluster, same calibrated profile as the head (recovery runs
+#: provision it via ``build_testbed(with_standby=True)``).
+STANDBY_HOSTNAME = "nozomi2.lsi.upc.edu"
 
 #: Published Figure 2 means, seconds, keyed by SimpleClient label.
 FIGURE2_PETITION_TARGETS: Mapping[str, float] = {
@@ -326,6 +332,8 @@ class PlanetLabTestbed:
     topology: Topology
     broker_hostname: str
     simpleclients: Dict[str, str]
+    #: Hostname of the standby broker (None unless provisioned).
+    standby_hostname: "str | None" = None
 
     def sc_hostname(self, label: str) -> str:
         """Hostname for an SC label (e.g. ``'SC7'``)."""
@@ -358,7 +366,9 @@ def _spec_from_profile(hostname: str, profile: _ClientProfile) -> NodeSpec:
 
 
 def build_testbed(
-    include_full_slice: bool = False, synthetic_nodes: int = 0
+    include_full_slice: bool = False,
+    synthetic_nodes: int = 0,
+    with_standby: bool = False,
 ) -> PlanetLabTestbed:
     """Build the calibrated PlanetLab testbed.
 
@@ -376,6 +386,8 @@ def build_testbed(
         topo.set_region_rtt(a, b, rtt)
 
     topo.add_node(_spec_from_profile(BROKER_HOSTNAME, _BROKER))
+    if with_standby:
+        topo.add_node(_spec_from_profile(STANDBY_HOSTNAME, _BROKER))
     sc_map: Dict[str, str] = {}
     for label in sorted(SIMPLECLIENTS):
         hostname = SIMPLECLIENTS[label]
@@ -395,5 +407,8 @@ def build_testbed(
 
     topo.validate()
     return PlanetLabTestbed(
-        topology=topo, broker_hostname=BROKER_HOSTNAME, simpleclients=sc_map
+        topology=topo,
+        broker_hostname=BROKER_HOSTNAME,
+        simpleclients=sc_map,
+        standby_hostname=STANDBY_HOSTNAME if with_standby else None,
     )

@@ -207,6 +207,11 @@ class FlowScheduler:
         #: Active flows with rate > 0; 0 with flows active = stalled.
         self._positive_rates = 0
         self._all_stalled = False
+        #: Optional admission gate consulted on every re-rate: return
+        #: False to pin the flow at rate 0 (e.g. its endpoints are
+        #: partitioned).  None = legacy semantics (flows stream through
+        #: partitions); see Network.enable_flow_partition_gating().
+        self.rate_gate: Optional[Callable[[Flow], bool]] = None
         # Instruments are bound once here so the per-event cost with
         # the (default) no-op registry is a single no-op call.
         reg = metrics if metrics is not None else active_registry()
@@ -291,9 +296,13 @@ class FlowScheduler:
         stays valid (no version bump, no push) — the no-churn case that
         makes arrivals O(flows sharing an endpoint).
         """
-        up_share = f.src.up_capacity_at(now) / len(f.src._up_set)
-        down_share = f.dst.down_capacity_at(now) / len(f.dst._down_set)
-        rate = up_share if up_share < down_share else down_share
+        gate = self.rate_gate
+        if gate is not None and not gate(f):
+            rate = 0.0
+        else:
+            up_share = f.src.up_capacity_at(now) / len(f.src._up_set)
+            down_share = f.dst.down_capacity_at(now) / len(f.dst._down_set)
+            rate = up_share if up_share < down_share else down_share
         old = f.rate
         if rate == old:
             return
@@ -870,6 +879,7 @@ class Network:
         #: frozensets.  Everything between the two groups is dropped.
         self._partitions: Dict[int, tuple[frozenset, frozenset]] = {}
         self._partition_seq = 0
+        self._flow_gating = False
 
     def host(self, hostname: str) -> Host:
         """Return (creating on first use) the live host for ``hostname``."""
@@ -909,6 +919,8 @@ class Network:
         self._partition_seq += 1
         token = self._partition_seq
         self._partitions[token] = (a, b)
+        if self._flow_gating:
+            self.flows.resample()
         return token
 
     def remove_partition(self, token: int) -> None:
@@ -916,6 +928,29 @@ class Network:
         if token not in self._partitions:
             raise ValueError(f"no active partition with token {token}")
         del self._partitions[token]
+        if self._flow_gating:
+            self.flows.resample()
+
+    def enable_flow_partition_gating(self) -> None:
+        """Opt in to partition-aware bulk flows.
+
+        With gating on, a flow whose endpoints sit on opposite sides of
+        an active partition is pinned at rate 0 until the partition
+        heals — and every partition change triggers an immediate
+        resample, so a heal never leaves a zero-capacity flow waiting
+        for the next tick (nor does a resample during the cut
+        re-activate it).  Off by default: legacy semantics let flows
+        stream through partitions (only unit messages are dropped), and
+        several experiments pin that behavior.  Idempotent.
+        """
+        if self._flow_gating:
+            return
+        self._flow_gating = True
+        self.flows.rate_gate = self._flow_rate_gate
+        self.flows.resample()
+
+    def _flow_rate_gate(self, flow: Flow) -> bool:
+        return not self.is_partitioned(flow.src.hostname, flow.dst.hostname)
 
     def is_partitioned(self, a: str, b: str) -> bool:
         """True when a unit from ``a`` to ``b`` would cross a cut."""

@@ -25,11 +25,16 @@ class TestResilienceRun:
                 assert 0.0 <= result.completion_rate(profile, policy) <= 1.0
 
     def test_counts_conserved(self, result):
+        # Every offered transfer resolves exactly one way: completed,
+        # aborted, or censored (in flight at the run deadline).
         for profile in result.profiles:
             for policy in resilience.POLICIES:
-                total = result.completion_rate(profile, policy) * resilience.N_TRANSFERS
-                total += result.aborted(profile, policy)
-                assert total == pytest.approx(resilience.N_TRANSFERS)
+                offered = result.offered(profile, policy)
+                resolved = offered - result.censored(profile, policy)
+                completed = result.completion_rate(profile, policy) * resolved
+                completed += result.aborted(profile, policy)
+                assert completed == pytest.approx(resolved)
+                assert offered <= resilience.N_TRANSFERS
 
     def test_baseline_has_no_episodes(self, result):
         for policy in resilience.POLICIES:
@@ -44,10 +49,41 @@ class TestResilienceRun:
     def test_table_renders_matrix(self, result):
         out = result.table()
         assert "profile" in out and "recovery (s)" in out
+        assert "censored" in out and "resumes" in out
+        assert "failover (s)" in out and "goodput (Mb/s)" in out
         for profile in result.profiles:
             assert profile in out
         for policy in resilience.POLICIES:
             assert policy in out
+
+    def test_without_recovery_no_resumes(self, result):
+        for profile in result.profiles:
+            for policy in resilience.POLICIES:
+                assert result.resumes(profile, policy) == 0.0
+                assert result.recovered_mbit(profile, policy) == 0.0
+                assert math.isnan(result.failover_s(profile, policy))
+
+    def test_goodput_retention_baseline_is_one(self, result):
+        for policy in resilience.POLICIES:
+            assert result.goodput_retention("baseline", policy) == (
+                pytest.approx(1.0)
+            )
+
+
+class TestCensoring:
+    def test_deadline_censors_in_flight_work(self, monkeypatch):
+        # A deadline shorter than one transfer forces the in-flight
+        # placement to be censored, never counted as failed.
+        monkeypatch.setattr(resilience, "RUN_DEADLINE_S", 5.0)
+        result = resilience.run(
+            ExperimentConfig(seed=71, repetitions=1), profiles=("baseline",)
+        )
+        for policy in resilience.POLICIES:
+            offered = result.offered("baseline", policy)
+            assert result.censored("baseline", policy) == 1.0
+            assert offered <= resilience.N_TRANSFERS
+            assert result.aborted("baseline", policy) == 0.0
+            assert math.isnan(result.completion_rate("baseline", policy))
 
 
 class TestProfileSelection:

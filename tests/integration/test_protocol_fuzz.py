@@ -83,10 +83,22 @@ class TestProtocolFuzz:
                         )
                 except ReproError:
                     pass  # protocol-level failures are expected under fuzz
-            # Recover everyone and let stragglers settle.
+            # Recover everyone and let stragglers settle.  A task
+            # accepted after the submitter's request timed out can
+            # still be executing on a slow node — drain (bounded)
+            # until the overlay is actually quiescent.
             for label in labels:
                 s.client(label).host.recover()
             yield 400.0
+            for _ in range(20):
+                busy = any(
+                    c.stats.pending_tasks or c.host.cpu.in_use
+                    or c.host.cpu.queued
+                    for c in s.clients.values()
+                )
+                if not busy:
+                    break
+                yield 400.0
             return None
 
         session.run(scenario)

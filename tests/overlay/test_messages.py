@@ -25,7 +25,7 @@ class TestVocabularyShape:
             "JoinRequest", "JoinAck", "LeaveNotice", "KeepAlive",
             "Ping", "Pong",
             # statistics & federation
-            "StatReport", "DigestEntry", "RegistryDigest",
+            "StatReport", "DigestEntry", "RegistryDigest", "StateSync",
             # discovery
             "DiscoveryQuery", "DiscoveryResponse", "PublishAdvertisement",
             # groups, IM, pipes

@@ -1,0 +1,189 @@
+"""Tests for degraded-mode (staleness-aware) selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransferAborted
+from repro.experiments.scenario import ExperimentConfig, Session
+from repro.overlay.statistics import PerformanceHistory
+from repro.recovery import (
+    RecoveryConfig,
+    StalenessAwareEvaluator,
+    StalenessAwarePreference,
+    StalenessAwareScheduler,
+)
+from repro.selection.base import SelectionContext, Workload
+from repro.selection.preference import PreferenceTable
+
+BUDGET_S = 180.0
+
+
+@pytest.fixture(scope="module")
+def warmed_session():
+    """A session with observed history: one warmup transfer per SC."""
+    session = Session(
+        ExperimentConfig(seed=41, repetitions=1, recovery=RecoveryConfig())
+    )
+
+    def scenario(s):
+        for label in s.sc_labels():
+            try:
+                yield s.sim.process(
+                    s.broker.transfers.send_file(
+                        s.client(label).advertisement(), f"w-{label}", 2e6
+                    )
+                )
+            except TransferAborted:
+                pass
+        yield 30.0
+        return None
+
+    session.run(scenario)
+    return session
+
+
+def _context(session, candidates, now):
+    return SelectionContext(
+        broker=session.broker,
+        now=now,
+        workload=Workload(transfer_bits=8e6, n_parts=2),
+        candidates=candidates,
+    )
+
+
+class TestEvaluator:
+    def test_fresh_inputs_keep_all_criteria(self, warmed_session):
+        s = warmed_session
+        selector = StalenessAwareEvaluator("same_priority", budget_s=BUDGET_S)
+        candidates = s.broker.candidates(kind="simpleclient")
+        ranked = selector.rank(_context(s, candidates, s.sim.now))
+        assert selector.last_dropped == ()
+        assert len(ranked) == len(candidates)
+
+    def test_stale_criteria_dropped_and_renormalized(self, warmed_session):
+        s = warmed_session
+        selector = StalenessAwareEvaluator("same_priority", budget_s=BUDGET_S)
+        candidates = s.broker.candidates(kind="simpleclient")
+        far = s.sim.now + 10 * BUDGET_S
+        saved = [(rec, rec.interaction) for rec in candidates]
+        # Cut the interaction-backed shortcut so every criterion is
+        # judged by its freshness clock, then refresh exactly one key.
+        for rec in candidates:
+            rec.interaction = None
+        candidates[0].freshness.note("pending_transfers", far - 1.0)
+        try:
+            ranked = selector.rank(_context(s, candidates, far))
+        finally:
+            for rec, inter in saved:
+                rec.interaction = inter
+        assert "pending_transfers" not in selector.last_dropped
+        assert len(selector.last_dropped) > 0
+        assert len(ranked) == len(candidates)
+        # The working weights are restored after the call.
+        assert selector.weights == selector._base_weights
+
+    def test_all_stale_keeps_full_weight_set(self, warmed_session):
+        s = warmed_session
+        selector = StalenessAwareEvaluator("same_priority", budget_s=BUDGET_S)
+        candidates = s.broker.candidates(kind="simpleclient")
+        # Far beyond any freshness note earlier tests may have left on
+        # these shared records (the clock is monotone).
+        far = s.sim.now + 1000 * BUDGET_S
+        saved = [(rec, rec.interaction) for rec in candidates]
+        for rec in candidates:
+            rec.interaction = None
+        try:
+            ranked = selector.rank(_context(s, candidates, far))
+        finally:
+            for rec, inter in saved:
+                rec.interaction = inter
+        # Uniformly old data still orders peers: nothing is dropped.
+        assert selector.last_dropped == ()
+        assert len(ranked) == len(candidates)
+
+
+class TestScheduler:
+    def test_fresh_history_trusted(self, warmed_session):
+        s = warmed_session
+        selector = StalenessAwareScheduler(reserve=False, budget_s=BUDGET_S)
+        candidates = s.broker.candidates(kind="simpleclient")
+        selector.rank(_context(s, candidates, s.sim.now))
+        assert selector.last_distrusted == ()
+
+    def test_stale_history_distrusted_and_restored(self, warmed_session):
+        s = warmed_session
+        selector = StalenessAwareScheduler(reserve=False, budget_s=BUDGET_S)
+        candidates = s.broker.candidates(kind="simpleclient")
+        target = candidates[0]
+        original_perf = target.perf
+        far = s.sim.now + 10 * BUDGET_S
+        # Everyone else stays fresh; only the target's history ages.
+        for rec in candidates[1:]:
+            rec.perf.last_observed_at = far - 1.0
+        ranked = selector.rank(_context(s, candidates, far))
+        assert selector.last_distrusted == (target.adv.name,)
+        # The stale history was swapped out only for the ranking.
+        assert target.perf is original_perf
+        assert len(ranked) == len(candidates)
+
+
+class TestPreference:
+    def _observed(self, candidates, now):
+        observed = {}
+        for i, rec in enumerate(candidates):
+            hist = PerformanceHistory()
+            hist.record_transfer(now, 8e6, 2.0 + i)
+            observed[rec.peer_id] = hist
+        return observed
+
+    def test_fresh_experience_uses_table(self, warmed_session):
+        s = warmed_session
+        candidates = s.broker.candidates(kind="simpleclient")
+        now = s.sim.now
+        observed = self._observed(candidates, now)
+        table = PreferenceTable.explicit([r.peer_id for r in candidates])
+        selector = StalenessAwarePreference(
+            table, observed=observed, budget_s=BUDGET_S
+        )
+        ranked = selector.rank(_context(s, candidates, now))
+        assert selector.last_fallback == ""
+        assert ranked[0].record is candidates[0]
+
+    def test_stale_experience_refreshes_from_window(self, warmed_session):
+        s = warmed_session
+        candidates = s.broker.candidates(kind="simpleclient")
+        now = s.sim.now
+        observed = self._observed(candidates, now)
+        table = PreferenceTable.explicit([r.peer_id for r in candidates])
+        selector = StalenessAwarePreference(
+            table, observed=observed, budget_s=BUDGET_S
+        )
+        far = now + 10 * BUDGET_S
+        ranked = selector.rank(_context(s, candidates, far))
+        assert selector.last_fallback == "refreshed"
+        # recent_transfer prefers the fastest remembered rate: the
+        # first candidate got the quickest warmup observation.
+        assert ranked[0].record is candidates[0]
+
+    def test_no_experience_degrades_to_name_order(self, warmed_session):
+        s = warmed_session
+        candidates = s.broker.candidates(kind="simpleclient")
+        selector = StalenessAwarePreference(
+            PreferenceTable(), observed={}, budget_s=BUDGET_S
+        )
+        ranked = selector.rank(_context(s, candidates, s.sim.now))
+        assert selector.last_fallback == "blind"
+        names = [rc.record.adv.name for rc in ranked]
+        assert names == sorted(names)
+
+    def test_base_model_would_refuse(self, warmed_session):
+        # Sanity: the stock model raises where the degraded one ranks.
+        from repro.errors import SelectionError
+        from repro.selection.preference import UserPreferenceSelector
+
+        s = warmed_session
+        candidates = s.broker.candidates(kind="simpleclient")
+        stock = UserPreferenceSelector(PreferenceTable())
+        with pytest.raises(SelectionError):
+            stock.rank(_context(s, candidates, s.sim.now))

@@ -1,0 +1,106 @@
+"""Tests for the transfer ledger: part proofs and integrity checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.overlay.filetransfer import part_digest, split_even
+from repro.recovery import TransferLedger
+
+
+def make_ledger(n_parts=4, total=40e6, name="f.bin", now=0.0):
+    ledger = TransferLedger()
+    sizes = tuple(split_even(total, n_parts))
+    entry = ledger.open(name, total, sizes, now=now)
+    return ledger, entry, sizes
+
+
+class TestOpen:
+    def test_open_tracks_layout(self):
+        ledger, entry, sizes = make_ledger()
+        assert "f.bin" in ledger
+        assert entry.n_parts == 4
+        assert entry.remaining() == [(i, sizes[i]) for i in range(4)]
+        assert entry.verified_bits == 0.0
+        assert not entry.is_complete
+
+    def test_open_is_idempotent(self):
+        ledger, entry, sizes = make_ledger()
+        again = ledger.open("f.bin", 40e6, sizes, now=5.0)
+        assert again is entry
+
+    def test_open_layout_mismatch_raises(self):
+        ledger, _, _ = make_ledger()
+        with pytest.raises(RecoveryError):
+            ledger.open("f.bin", 40e6, tuple(split_even(40e6, 5)), now=0.0)
+
+    def test_entry_unknown_raises_get_returns_none(self):
+        ledger = TransferLedger()
+        with pytest.raises(RecoveryError):
+            ledger.entry("nope")
+        assert ledger.get("nope") is None
+
+
+class TestProofs:
+    def test_confirm_accumulates_proofs(self):
+        ledger, entry, sizes = make_ledger()
+        for i in (0, 2):
+            ledger.record_confirmed(
+                "f.bin", i, sizes[i], part_digest("f.bin", i, sizes[i]),
+                now=float(i),
+            )
+        assert entry.verified_indices() == (0, 2)
+        assert entry.remaining() == [(1, sizes[1]), (3, sizes[3])]
+        assert entry.verified_bits == pytest.approx(sizes[0] + sizes[2])
+
+    def test_all_parts_completes(self):
+        ledger, entry, sizes = make_ledger(n_parts=2)
+        for i in range(2):
+            ledger.record_confirmed(
+                "f.bin", i, sizes[i], part_digest("f.bin", i, sizes[i])
+            )
+        assert entry.is_complete
+        assert entry.remaining() == []
+
+    def test_duplicate_same_digest_is_noop(self):
+        ledger, entry, sizes = make_ledger()
+        d = part_digest("f.bin", 0, sizes[0])
+        ledger.record_confirmed("f.bin", 0, sizes[0], d)
+        ledger.record_confirmed("f.bin", 0, sizes[0], d)
+        assert entry.verified_indices() == (0,)
+
+    def test_wrong_digest_raises(self):
+        ledger, _, sizes = make_ledger()
+        with pytest.raises(RecoveryError):
+            ledger.record_confirmed("f.bin", 0, sizes[0], "deadbeef")
+
+    def test_out_of_range_index_raises(self):
+        ledger, _, sizes = make_ledger()
+        with pytest.raises(RecoveryError):
+            ledger.record_confirmed(
+                "f.bin", 9, sizes[0], part_digest("f.bin", 9, sizes[0])
+            )
+
+    def test_size_mismatch_raises(self):
+        ledger, _, sizes = make_ledger()
+        wrong = sizes[0] * 2
+        with pytest.raises(RecoveryError):
+            ledger.record_confirmed(
+                "f.bin", 0, wrong, part_digest("f.bin", 0, wrong)
+            )
+
+    def test_untracked_file_is_ignored(self):
+        ledger = TransferLedger()
+        # The service confirms parts for transfers the ledger never
+        # opened (e.g. warmups); those must not pollute it.
+        ledger.record_confirmed("other.bin", 0, 1e6, "whatever")
+        assert "other.bin" not in ledger
+
+
+class TestDiscard:
+    def test_discard_forgets(self):
+        ledger, _, _ = make_ledger()
+        ledger.discard("f.bin")
+        assert "f.bin" not in ledger
+        ledger.discard("f.bin")  # idempotent
