@@ -114,6 +114,7 @@ def _run(scheduler_cls, n_flows: int, n_hosts: int = N_HOSTS, seed: int = 11):
     assert all(d.triggered and d.ok for d in dones)
     assert scheduler.active_flows == 0
     if scheduler_cls is FlowScheduler:
+        scheduler.flush_metrics(reg)
         touched = reg.histogram("flow.touched_per_reconcile")
         reconciles = reg.counter("flow.reconciles").value
         touched_total = touched.sum

@@ -7,7 +7,9 @@ are visible, per the HPC guide's "no optimization without measuring".
 
 from __future__ import annotations
 
-from repro.simnet.kernel import Simulator
+import time
+
+from repro.simnet.kernel import _COMPACT_MIN_TOMBSTONES, Simulator
 from repro.simnet.rng import RandomStreams
 from repro.simnet.transport import Network
 from repro.units import mbit
@@ -15,6 +17,11 @@ from repro.units import mbit
 from tests.conftest import make_two_node_topology
 
 N_EVENTS = 20_000
+
+#: Regression floor for the raw event loop — observed rates are well
+#: over 10x this; the floor only trips on catastrophic hot-path
+#: regressions, not on slow CI hardware.
+TIMEOUT_CHURN_FLOOR_EV_S = 20_000.0
 
 
 def _timeout_churn():
@@ -71,3 +78,49 @@ def _message_churn():
 def test_bench_message_churn(benchmark):
     n = benchmark(_message_churn)
     assert n == 2000
+
+
+def _cancel_rearm_churn():
+    """The flow scheduler's supersede pattern, distilled: one far-future
+    timer cancelled and re-armed per simulated event."""
+    sim = Simulator()
+    n_cycles = N_EVENTS
+
+    def proc():
+        pending = None
+        for i in range(n_cycles):
+            if pending is not None:
+                sim.cancel(pending)
+            pending = sim.call_in(1e6, lambda: None)
+            yield 0.001
+        if pending is not None:
+            sim.cancel(pending)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    return sim
+
+
+def test_bench_cancel_rearm_churn(benchmark):
+    sim = benchmark(_cancel_rearm_churn)
+    # The tombstone-compaction gate: pre-compaction every superseded
+    # timer sat in the heap until t=1e6, so depth tracked the cancel
+    # count (~N_EVENTS); now it tracks the compaction threshold.
+    assert sim.max_agenda_depth <= 4 * _COMPACT_MIN_TOMBSTONES
+    assert sim.agenda_compactions > 0
+    # All but the last sub-threshold batch of tombstones (the run ends
+    # before their distant due time) have been reclaimed.
+    assert sim.events_cancelled >= N_EVENTS - _COMPACT_MIN_TOMBSTONES
+
+
+def test_timeout_churn_events_per_s_floor():
+    """Plain stdlib-timed throughput gate on the raw event loop."""
+    started = time.perf_counter()  # simlint: disable=SIM001 -- measured wall-clock of the bench run, not a simulated quantity
+    count = _timeout_churn()
+    wall_s = time.perf_counter() - started  # simlint: disable=SIM001 -- measured wall-clock of the bench run, not a simulated quantity
+    assert count == N_EVENTS
+    rate = count / wall_s
+    assert rate >= TIMEOUT_CHURN_FLOOR_EV_S, (
+        f"kernel event loop at {rate:.0f} events/s, below the "
+        f"{TIMEOUT_CHURN_FLOOR_EV_S:.0f} regression floor"
+    )

@@ -1,0 +1,118 @@
+"""Gates on the committed perf-trajectory artifact (``BENCH_<pr>.json``).
+
+Two layers:
+
+* **Artifact gates** — the committed ``BENCH_6.json`` must exist, carry
+  the current schema, cover every standard workload with positive
+  throughput, and record the resilience parallel run as bit-identical
+  to the serial one.  These run on every benchmark invocation and cost
+  only a file read.
+* **Live smoke** — set ``REPRO_RUN_TRAJECTORY=1`` to re-measure a smoke
+  trajectory in-process (the CI perf job does) and assert the identity
+  and speedup properties on fresh numbers.  The >= 2x resilience
+  speedup is only asserted on hosts with >= 4 CPUs — wall-clock
+  parallel gains are meaningless on smaller boxes (the bit-identity
+  check still runs everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import (
+    DEFAULT_PR,
+    SCHEMA,
+    WORKLOADS,
+    load_trajectory,
+    run_trajectory,
+)
+from repro.perf.parallel import available_cpus
+
+from .conftest import emit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / f"BENCH_{DEFAULT_PR}.json"
+
+RUN_LIVE = os.environ.get("REPRO_RUN_TRAJECTORY", "") not in ("", "0")
+
+#: Events/s floors for the committed artifact — deliberately an order
+#: of magnitude under observed rates, so they catch catastrophic
+#: hot-path regressions (accidental O(n^2), per-event instrument
+#: lookups) without flaking on slow CI hardware.
+EVENTS_PER_S_FLOORS = {
+    "fig3": 2_000.0,
+    "fig5": 2_000.0,
+    "scale_large": 5_000.0,
+    "resilience": 2_000.0,
+}
+
+
+class TestCommittedArtifact:
+    def test_artifact_exists_with_current_schema(self):
+        assert ARTIFACT.is_file(), (
+            f"{ARTIFACT} missing — regenerate with "
+            f"`python -m repro.perf --out {ARTIFACT.name}`"
+        )
+        data = load_trajectory(ARTIFACT)
+        assert data["schema"] == SCHEMA
+        assert data["pr"] == DEFAULT_PR
+        assert data["host"]["cpu_count"] >= 1
+
+    def test_all_workloads_recorded(self):
+        data = load_trajectory(ARTIFACT)
+        assert set(data["workloads"]) == set(WORKLOADS)
+        for name in WORKLOADS:
+            row = data["workloads"][name]
+            assert row["events"] > 0, name
+            assert row["wall_s"] > 0.0, name
+            assert row["events_per_s"] > 0.0, name
+
+    def test_events_per_s_floors(self):
+        data = load_trajectory(ARTIFACT)
+        lines = []
+        for name, floor in EVENTS_PER_S_FLOORS.items():
+            rate = data["workloads"][name]["events_per_s"]
+            lines.append(f"{name:12s} {rate:>12.0f} ev/s (floor {floor:.0f})")
+            assert rate >= floor, (
+                f"{name}: committed {rate:.0f} events/s below the "
+                f"{floor:.0f} regression floor"
+            )
+        emit("perf trajectory — committed events/s", "\n".join(lines))
+
+    def test_resilience_recorded_bit_identical(self):
+        row = load_trajectory(ARTIFACT)["workloads"]["resilience"]
+        assert row["identical"] is True
+        assert row["workers"] >= 2
+        assert row["cells"] > 0
+        assert row["wall_s_serial"] > 0.0
+        assert row["wall_s_parallel"] > 0.0
+
+
+@pytest.mark.skipif(not RUN_LIVE, reason="set REPRO_RUN_TRAJECTORY=1")
+class TestLiveSmokeTrajectory:
+    def test_smoke_trajectory(self):
+        data = run_trajectory(smoke=True)
+        res = data["workloads"]["resilience"]
+        emit(
+            "perf trajectory — live smoke",
+            "\n".join(
+                f"{name:12s} wall={row['wall_s']:8.3f} s "
+                f"ev/s={row['events_per_s']:>10.0f}"
+                for name, row in data["workloads"].items()
+            )
+            + f"\nresilience speedup {res['speedup']:.2f}x "
+            f"({res['workers']} workers, identical={res['identical']})",
+        )
+        assert set(data["workloads"]) == set(WORKLOADS)
+        # The load-bearing property holds on any host:
+        assert res["identical"] is True
+        if available_cpus() >= 4:
+            # The wall-clock acceptance bound needs real cores.
+            assert res["speedup"] >= 2.0, (
+                f"resilience matrix only {res['speedup']:.2f}x faster "
+                f"with {res['workers']} workers on "
+                f"{available_cpus()} CPUs"
+            )

@@ -118,6 +118,11 @@ def main(argv=None) -> int:
              "(.csv for CSV, anything else for JSON)",
     )
     parser.add_argument(
+        "--parallel", metavar="N", type=int, default=None,
+        help="fan repetition/matrix sweeps out over N worker processes "
+             "(0 = one per CPU); results are bit-identical to serial",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available artifacts"
     )
     args = parser.parse_args(argv)
@@ -155,6 +160,10 @@ def main(argv=None) -> int:
         from repro.recovery.config import RecoveryConfig
 
         config = dataclasses.replace(config, recovery=RecoveryConfig())
+    if args.parallel is not None:
+        from repro.perf.parallel import set_default_workers
+
+        set_default_workers(args.parallel)
     if args.metrics_out:
         out_dir = Path(args.metrics_out).expanduser().resolve().parent
         if not out_dir.is_dir():

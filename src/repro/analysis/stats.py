@@ -10,7 +10,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["Summary", "summarize", "summarize_by_key", "ratio"]
+__all__ = [
+    "Summary",
+    "summarize",
+    "summarize_by_key",
+    "summaries_identical",
+    "ratio",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,35 @@ class Summary:
         """Normal-approximation 95 % confidence interval of the mean."""
         half = 1.96 * self.sem
         return (self.mean - half, self.mean + half)
+
+    def identical(self, other: "Summary") -> bool:
+        """Field-wise bit-equality, except NaN matches NaN.
+
+        ``==`` follows IEEE semantics (``nan != nan``), which makes two
+        runs of the *same* experiment compare unequal whenever a series
+        is undefined (e.g. a baseline cell's recovery time).  Identity
+        checks — the parallel-vs-serial equivalence proof — use this.
+        """
+        return (
+            self.n == other.n
+            and _floats_identical(self.mean, other.mean)
+            and _floats_identical(self.std, other.std)
+            and _floats_identical(self.minimum, other.minimum)
+            and _floats_identical(self.maximum, other.maximum)
+        )
+
+
+def _floats_identical(a: float, b: float) -> bool:
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+def summaries_identical(
+    a: Mapping[str, Summary], b: Mapping[str, Summary]
+) -> bool:
+    """True when two summary maps agree key-for-key, NaN matching NaN."""
+    if set(a) != set(b):
+        return False
+    return all(a[key].identical(b[key]) for key in a)
 
 
 def summarize(values: Sequence[float]) -> Summary:

@@ -24,6 +24,7 @@ completion rate is taken over resolved placements only.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -38,7 +39,10 @@ from repro.experiments.report import render_table
 from repro.experiments.runner import average_rows, run_repetitions
 from repro.experiments.scenario import ExperimentConfig, Session
 from repro.faults.profiles import get_profile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import active_registry, use_registry
 from repro.overlay.peer import PeerConfig, RequestTimeout
+from repro.perf.parallel import pmap
 from repro.recovery.degraded import (
     StalenessAwareEvaluator,
     StalenessAwareScheduler,
@@ -388,9 +392,29 @@ def _scenario(policy: str):
     return scenario
 
 
+def _run_cell(task: Tuple[ExperimentConfig, str, bool]):
+    """One (profile, policy) cell in isolation — the sweep unit.
+
+    Returns ``(rows, registry_or_None)``.  The cell runs under its own
+    metrics registry when metrics are wanted; the caller merges cell
+    registries back in cell order.  Both the serial and the parallel
+    matrix run exactly this function, so their merge trees — and hence
+    every merged metric value — are identical.
+    """
+    cell_config, policy, with_metrics = task
+    registry = MetricsRegistry() if with_metrics else None
+    scope = use_registry(registry) if registry is not None else nullcontext()
+    with scope:
+        rows: List[Mapping[str, float]] = run_repetitions(
+            cell_config, _scenario(policy)
+        )
+    return rows, registry
+
+
 def run(
     config: ExperimentConfig = ExperimentConfig(),
     profiles: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> ResilienceResult:
     """Run the resilience matrix.
 
@@ -398,6 +422,11 @@ def run(
     config carries a ``fault_plan`` (e.g. from ``--faults``), in which
     case the matrix is that plan against the fault-free baseline.  A
     config with ``recovery`` set runs every cell self-healing.
+
+    The profile×policy cells are independent, so ``workers`` > 1 fans
+    them out over a process pool (``None`` = the
+    :mod:`repro.perf.parallel` default, ``0`` = one per CPU); results
+    and merged metrics are bit-identical to the serial matrix.
     """
     if profiles is None:
         if config.fault_plan is not None:
@@ -409,7 +438,8 @@ def run(
         peer_config=_RESILIENCE_PEER_CONFIG,
         liveness_timeout_s=LIVENESS_S,
     )
-    summaries: Dict[str, Summary] = {}
+    reg = active_registry()
+    tasks: List[Tuple[ExperimentConfig, str, bool]] = []
     for profile in profiles:
         if profile == "baseline":
             plan = None
@@ -419,9 +449,17 @@ def run(
             plan = get_profile(profile)
         cell_config = replace(base, fault_plan=plan)
         for policy in POLICIES:
-            rows: List[Mapping[str, float]] = run_repetitions(
-                cell_config, _scenario(policy)
-            )
+            tasks.append((cell_config, policy, reg.enabled))
+    outcomes = pmap(_run_cell, tasks, workers=workers)
+
+    summaries: Dict[str, Summary] = {}
+    cell_index = 0
+    for profile in profiles:
+        for policy in POLICIES:
+            rows, cell_registry = outcomes[cell_index]
+            cell_index += 1
+            if cell_registry is not None:
+                reg.merge(cell_registry)
             for key, summary in average_rows(rows).items():
                 summaries[f"{profile}/{policy}/{key}"] = summary
     return ResilienceResult(profiles=tuple(profiles), summaries=summaries)

@@ -5,28 +5,63 @@ The paper repeats each measurement five times and reports the average.
 per repetition (fresh seed substream, fresh overlay) and hands the
 per-repetition result rows to :func:`average_rows` for the figures'
 mean series.
+
+Repetitions are embarrassingly parallel — each one's seed derives only
+from the config — so ``workers > 1`` fans them out over a process pool
+(:mod:`repro.perf.parallel`).  Parallel runs are bit-identical to
+serial ones by construction: the serial path runs the *same* per-
+repetition worker (fresh session, isolated per-repetition metrics
+registry) in-process, and both paths fold results and registries back
+in repetition order.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping
+from contextlib import nullcontext
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.stats import Summary, summarize
 from repro.experiments.scenario import ExperimentConfig, Session
-from repro.obs.runtime import active_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import active_registry, use_registry
+from repro.perf.parallel import picklable, pmap, resolve_workers
 
 __all__ = ["run_repetitions", "average_rows"]
+
+
+def _run_one_repetition(task: Tuple[ExperimentConfig, Callable, int, bool]):
+    """One repetition in isolation (the unit both sweep paths run).
+
+    Returns ``(result, sim_time_s, registry_or_None)``.  With metrics
+    wanted, the repetition runs under its own fresh registry — the
+    caller merges registries back in repetition order, so the merge
+    tree (per-repetition subtotals folded in order) is the same
+    whether the repetition ran in-process or in a worker.
+    """
+    config, scenario, rep, with_metrics = task
+    registry = MetricsRegistry() if with_metrics else None
+    scope = use_registry(registry) if registry is not None else nullcontext()
+    with scope:
+        session = Session(config.for_repetition(rep))
+        result = session.run(scenario)
+    return result, session.sim.now, registry
 
 
 def run_repetitions(
     config: ExperimentConfig,
     scenario: Callable[[Session], object],
+    workers: Optional[int] = None,
 ) -> List[object]:
     """Run ``scenario`` once per repetition on fresh sessions.
 
     ``scenario(session)`` must return a generator process (the session
     connects all peers first, then runs it).  Returns the list of
-    per-repetition results.
+    per-repetition results, in repetition order.
+
+    ``workers`` > 1 runs repetitions on a process pool (``None`` uses
+    the :mod:`repro.perf.parallel` default, normally serial; ``0`` =
+    one worker per CPU).  A scenario that cannot be pickled (e.g. a
+    closure) silently degrades to the serial path.
 
     When a metrics registry is installed (``repro.obs.use_registry``)
     every repetition's instruments accumulate into it, plus a
@@ -39,12 +74,22 @@ def run_repetitions(
         "experiment.rep_sim_time_s",
         bounds=(1, 10, 60, 300, 600, 1800, 3600, 7200, 14400),
     )
+    tasks = [
+        (config, scenario, rep, reg.enabled)
+        for rep in range(config.repetitions)
+    ]
+    n_workers = resolve_workers(workers, len(tasks))
+    if n_workers > 1 and not picklable(scenario):
+        n_workers = 1
+    outcomes = pmap(_run_one_repetition, tasks, workers=n_workers)
+
     results: List[object] = []
-    for rep in range(config.repetitions):
-        session = Session(config.for_repetition(rep))
-        results.append(session.run(scenario))
+    for result, sim_time_s, rep_registry in outcomes:  # repetition order
+        results.append(result)
+        if rep_registry is not None:
+            reg.merge(rep_registry)
         m_reps.inc()
-        m_sim_s.observe(session.sim.now)
+        m_sim_s.observe(sim_time_s)
     return results
 
 

@@ -1,0 +1,34 @@
+"""Raw-speed tooling: parallel sweeps and the recorded perf trajectory.
+
+The experiments' repetition×policy×profile sweeps are embarrassingly
+parallel — every repetition is an isolated :class:`Session` whose seed
+is derived only from the config — so :mod:`repro.perf.parallel` fans
+them out over worker processes with a merge step that is bit-identical
+to the serial path by construction (both paths fold the same per-task
+subtotals in the same order).
+
+:mod:`repro.perf.bench` measures the standard workloads (fig3, fig5,
+scale-large, resilience serial vs parallel) and writes a ``BENCH_<pr>.json``
+trajectory artifact, so every PR's events/s and wall-time are diffable
+against the last; ``python -m repro.perf`` is the CLI.
+"""
+
+from repro.perf.parallel import (
+    available_cpus,
+    get_default_workers,
+    pmap,
+    resolve_workers,
+    set_default_workers,
+)
+from repro.perf.bench import load_trajectory, run_trajectory, write_trajectory
+
+__all__ = [
+    "available_cpus",
+    "get_default_workers",
+    "pmap",
+    "resolve_workers",
+    "set_default_workers",
+    "load_trajectory",
+    "run_trajectory",
+    "write_trajectory",
+]

@@ -1,0 +1,76 @@
+"""CLI: record the perf trajectory.
+
+Usage::
+
+    python -m repro.perf --out BENCH_6.json          # full measurement
+    python -m repro.perf --smoke --out BENCH_6.json  # CI smoke sizing
+    python -m repro.perf --workers 8 --pr 7          # explicit knobs
+
+Writes the trajectory artifact (events/s + wall-time for fig3 / fig5 /
+scale-large / resilience serial-vs-parallel) and prints a summary
+table.  Exits non-zero if the parallel resilience run was not
+bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.bench import DEFAULT_PR, run_trajectory, write_trajectory
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Measure the perf-trajectory workloads and write BENCH_<pr>.json.",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help=f"artifact path (default: BENCH_<pr>.json, pr={DEFAULT_PR})",
+    )
+    parser.add_argument("--pr", type=int, default=DEFAULT_PR, help="PR number")
+    parser.add_argument("--seed", type=int, default=2007, help="master seed")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI sizing: fewer repetitions, smaller pools",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel resilience worker count (default: one per CPU, min 2)",
+    )
+    args = parser.parse_args(argv)
+
+    data = run_trajectory(
+        pr=args.pr, smoke=args.smoke, workers=args.workers, seed=args.seed
+    )
+    out = args.out or f"BENCH_{args.pr}.json"
+    path = write_trajectory(data, out)
+
+    print(f"perf trajectory → {path}")
+    for name, row in data["workloads"].items():
+        line = (
+            f"  {name:12s} wall={row['wall_s']:8.3f} s  "
+            f"events={row['events']:>9d}  ev/s={row['events_per_s']:>10.0f}"
+        )
+        if name == "resilience":
+            line += (
+                f"  parallel={row['wall_s_parallel']:.3f} s "
+                f"({row['speedup']:.2f}x, {row['workers']} workers, "
+                f"identical={row['identical']})"
+            )
+        print(line)
+
+    if not data["workloads"]["resilience"]["identical"]:
+        print(
+            "ERROR: parallel resilience run diverged from the serial one",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

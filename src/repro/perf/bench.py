@@ -1,0 +1,184 @@
+"""Perf-trajectory benchmarks: measure the standard workloads, write
+``BENCH_<pr>.json``.
+
+Each PR records the simulator's raw speed on the same four workloads —
+fig3 (the paper's sequential transfer figure), fig5 (part granularity),
+scale-large (a 500-peer synthetic pool under concurrent placement
+waves) and the resilience matrix (run serially *and* through the
+parallel sweep runner, with the outputs checked identical) — as
+events/s and wall-time.  Committing the artifact per PR makes the
+trajectory diffable: a hot-path regression shows up as a drop between
+``BENCH_N.json`` and ``BENCH_N+1.json`` on comparable hardware.
+
+Wall-clock numbers are machine-dependent by nature; the artifact
+records the host (python, platform, cpu count) so trajectories are
+only compared within a lineage of comparable runs.  Everything else —
+event counts, cell results, the serial/parallel identity check — is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro.analysis.stats import summaries_identical
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import use_registry
+from repro.perf.parallel import available_cpus
+
+__all__ = [
+    "DEFAULT_PR",
+    "SCHEMA",
+    "WORKLOADS",
+    "load_trajectory",
+    "run_trajectory",
+    "write_trajectory",
+]
+
+#: The PR this tree's committed artifact belongs to.
+DEFAULT_PR = 6
+
+#: Artifact schema tag (bump on incompatible layout changes).
+SCHEMA = "repro.perf/trajectory-v1"
+
+#: Workload names recorded in every trajectory artifact.
+WORKLOADS = ("fig3", "fig5", "scale_large", "resilience")
+
+
+def _measure(fn: Callable[[], Any]) -> Dict[str, Any]:
+    """Run ``fn`` under a fresh registry; return timing + event stats."""
+    registry = MetricsRegistry()
+    started = time.perf_counter()  # simlint: disable=SIM001 -- measured wall-clock of the bench run, not a simulated quantity
+    with use_registry(registry):
+        result = fn()
+    wall_s = time.perf_counter() - started  # simlint: disable=SIM001 -- measured wall-clock of the bench run, not a simulated quantity
+    events = registry.counter("kernel.events_processed").value  # simlint: disable=SIM006 -- one post-run read per workload, not a hot path
+    return {
+        "result": result,
+        "registry": registry,
+        "wall_s": wall_s,
+        "events": int(events),
+        "events_per_s": events / wall_s if wall_s > 0 else float("inf"),
+    }
+
+
+def _row(measured: Dict[str, Any], **extra: Any) -> Dict[str, Any]:
+    row = {
+        "wall_s": round(measured["wall_s"], 4),
+        "events": measured["events"],
+        "events_per_s": round(measured["events_per_s"], 1),
+    }
+    row.update(extra)
+    return row
+
+
+def run_trajectory(
+    pr: int = DEFAULT_PR,
+    smoke: bool = False,
+    workers: Optional[int] = None,
+    seed: int = 2007,
+) -> Dict[str, Any]:
+    """Measure all trajectory workloads; return the artifact dict.
+
+    ``smoke=True`` shrinks repetitions/pools for CI (the recorded
+    ``config.smoke`` flag keeps smoke rows from being compared against
+    full ones).  ``workers`` sizes the parallel resilience run
+    (default: one per CPU, at least 2 so the parallel path is actually
+    exercised on single-core boxes).
+    """
+    # Imports are local so ``import repro.perf`` stays light and free
+    # of package cycles (experiments import repro.perf.parallel).
+    from repro.experiments import (
+        fig3_fulltransfer,
+        fig5_granularity,
+        resilience,
+        scale,
+    )
+    from repro.experiments.scenario import ExperimentConfig
+
+    if workers is None:
+        workers = max(2, available_cpus())
+    reps = 2 if smoke else 5
+    config = ExperimentConfig(seed=seed, repetitions=reps)
+    workloads: Dict[str, Any] = {}
+
+    fig3 = _measure(lambda: fig3_fulltransfer.run(config))
+    workloads["fig3"] = _row(fig3, repetitions=reps)
+
+    fig5 = _measure(lambda: fig5_granularity.run(config))
+    workloads["fig5"] = _row(fig5, repetitions=reps)
+
+    pools = (100,) if smoke else (500,)
+    n_jobs = 6 if smoke else 12
+    scale_cfg = ExperimentConfig(seed=seed, repetitions=1, flow_tick=30.0)
+    large = _measure(
+        lambda: scale.run_large(
+            scale_cfg, pools=pools, n_jobs=n_jobs, concurrency=16
+        )
+    )
+    workloads["scale_large"] = _row(
+        large, pools=list(pools), n_jobs=n_jobs
+    )
+
+    res_cfg = ExperimentConfig(seed=seed, repetitions=reps)
+    serial = _measure(lambda: resilience.run(res_cfg, workers=1))
+    parallel = _measure(lambda: resilience.run(res_cfg, workers=workers))
+    # NaN-aware: undefined cells (e.g. baseline recovery time) summarize
+    # to NaN, and ``==`` would report false inequality for them.
+    identical = (
+        summaries_identical(
+            serial["result"].summaries, parallel["result"].summaries
+        )
+        and serial["registry"].to_dict() == parallel["registry"].to_dict()
+    )
+    speedup = (
+        serial["wall_s"] / parallel["wall_s"]
+        if parallel["wall_s"] > 0
+        else float("inf")
+    )
+    workloads["resilience"] = {
+        "wall_s": round(serial["wall_s"], 4),
+        "wall_s_serial": round(serial["wall_s"], 4),
+        "wall_s_parallel": round(parallel["wall_s"], 4),
+        "speedup": round(speedup, 3),
+        "workers": workers,
+        "events": serial["events"],
+        "events_per_s": round(serial["events_per_s"], 1),
+        "identical": identical,
+        "repetitions": reps,
+        "cells": len(serial["result"].profiles) * len(resilience.POLICIES),
+    }
+
+    return {
+        "schema": SCHEMA,
+        "pr": pr,
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": available_cpus(),
+        },
+        "config": {"seed": seed, "smoke": smoke, "workers": workers},
+        "workloads": workloads,
+    }
+
+
+def write_trajectory(data: Dict[str, Any], path) -> Path:
+    """Write a trajectory artifact as stable, diff-friendly JSON."""
+    out = Path(path)
+    out.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def load_trajectory(path) -> Dict[str, Any]:
+    """Read an artifact written by :func:`write_trajectory`."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unknown trajectory schema {data.get('schema')!r}"
+        )
+    return data

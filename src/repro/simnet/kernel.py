@@ -55,6 +55,11 @@ NORMAL_PRIORITY = 1
 #: Priority used by :class:`Timeout` via ``urgent=True`` scheduling.
 URGENT_PRIORITY = 0
 
+#: Agenda compaction: sweep lazily-cancelled entries out of the heap
+#: once they are at least this many *and* at least half the agenda.
+#: Below the floor the dead entries are cheaper to pop than to sweep.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class Event:
     """A one-shot occurrence on the simulator's timeline.
@@ -393,6 +398,10 @@ class Simulator:
         self.events_cancelled = 0
         self.interrupts = 0
         self.max_agenda_depth = 0
+        self.agenda_compactions = 0
+        #: Lazily-cancelled entries still sitting in the agenda; drives
+        #: the compaction trigger in :meth:`cancel`.
+        self._tombstones = 0
         self._flushed_events = 0
         self._flushed_interrupts = 0
         self._flushed_cancelled = 0
@@ -469,10 +478,42 @@ class Simulator:
         supersedes its wake-up timer this way).  Cancelling an event
         that already ran is a no-op.  Waiting on a cancelled event is
         undefined: it will never fire.
+
+        Tombstones do not accumulate without bound: once the cancelled
+        entries dominate the agenda (see ``_COMPACT_MIN_TOMBSTONES``)
+        the heap is compacted in one O(n) sweep, so churn-heavy runs
+        that cancel and re-arm timers far into the future keep a
+        bounded agenda instead of growing it with every supersede.
         """
-        if event.callbacks is None:
+        if event.callbacks is None or event._cancelled:
             return
         event._cancelled = True
+        self._tombstones += 1
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and 2 * self._tombstones >= len(self._agenda)
+        ):
+            self._compact_agenda()
+
+    def _compact_agenda(self) -> None:
+        """Drop every cancelled entry from the agenda in one sweep.
+
+        Pop order is unaffected: heap keys ``(time, priority, seq)``
+        are unique, so re-heapifying the surviving entries yields the
+        exact same processing sequence.
+        """
+        live = []
+        for entry in self._agenda:
+            event = entry[3]
+            if event._cancelled:
+                event.callbacks = None
+                self.events_cancelled += 1
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._agenda = live
+        self._tombstones = 0
+        self.agenda_compactions += 1
 
     # -- scheduling internals -------------------------------------------------
 
@@ -498,6 +539,8 @@ class Simulator:
             # Lazily-cancelled timer: drop it without running callbacks.
             event.callbacks = None
             self.events_cancelled += 1
+            if self._tombstones:
+                self._tombstones -= 1
             return
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
@@ -505,8 +548,17 @@ class Simulator:
             cb(event)
         if not event._ok and not callbacks:
             # A failed event that nobody observed: surface the error
-            # instead of silently dropping it.
-            raise event._value
+            # instead of silently dropping it.  The value is usually an
+            # exception (``fail()`` enforces that), but events built by
+            # hand can carry anything — wrap those instead of letting a
+            # bare ``raise None`` surface as a confusing TypeError.
+            value = event._value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(
+                f"unobserved failed event {event!r} with "
+                f"non-exception value {value!r}"
+            )
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -585,6 +637,7 @@ class Simulator:
         self._flushed_interrupts = self.interrupts
         self._flushed_cancelled = self.events_cancelled
         reg.gauge("kernel.agenda_depth").track_max(self.max_agenda_depth)  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
+        reg.gauge("kernel.agenda_compactions").set(self.agenda_compactions)  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
         reg.gauge("kernel.sim_time_s").set(self._now)  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
 
 

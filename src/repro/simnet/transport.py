@@ -212,14 +212,25 @@ class FlowScheduler:
         #: partitioned).  None = legacy semantics (flows stream through
         #: partitions); see Network.enable_flow_partition_gating().
         self.rate_gate: Optional[Callable[[Flow], bool]] = None
-        # Instruments are bound once here so the per-event cost with
-        # the (default) no-op registry is a single no-op call.
-        reg = metrics if metrics is not None else active_registry()
-        self._m_started = reg.counter("flow.started")
-        self._m_finished = reg.counter("flow.finished")
-        self._m_reconciles = reg.counter("flow.reconciles")
-        self._m_stalled_windows = reg.counter("flow.zero_rate_windows")
-        self._m_active = reg.gauge("flow.active")
+        #: Lifetime counters — plain ints on the hot path (the kernel
+        #: pattern): every scheduler event pays integer adds, not
+        #: instrument calls; :meth:`flush_metrics` publishes deltas.
+        self.flows_started = 0
+        self.flows_finished = 0
+        self.reconciles = 0
+        self.stall_windows = 0
+        self.max_active = 0
+        self.horizon_swept = 0
+        self._flushed_started = 0
+        self._flushed_finished = 0
+        self._flushed_reconciles = 0
+        self._flushed_stalls = 0
+        #: Registry :meth:`flush_metrics` publishes to by default.
+        self.metrics = metrics if metrics is not None else active_registry()
+        # Histograms carry per-sample distributions, so they stay bound
+        # and observed live (one no-op call each with the default
+        # registry); everything scalar is batched above.
+        reg = self.metrics
         self._m_goodput = reg.histogram("flow.goodput_mbps", DEFAULT_RATE_BUCKETS)
         self._m_touched = reg.histogram(
             "flow.touched_per_reconcile", _TOUCHED_BUCKETS
@@ -256,9 +267,10 @@ class FlowScheduler:
             self._set_rate(g, now)
         self._set_rate(flow, now)
 
-        self._m_started.inc()
-        self._m_active.set(len(self._flows))
-        self._m_reconciles.inc()
+        self.flows_started += 1
+        self.reconciles += 1
+        if len(self._flows) > self.max_active:
+            self.max_active = len(self._flows)
         self._m_touched.observe(len(touched) + 1)
         self._after_event(now)
         return done
@@ -335,9 +347,15 @@ class FlowScheduler:
         for g in touched:
             self._advance(g, now)
             self._set_rate(g, now)
-        self._m_finished.inc(len(finished))
-        self._m_active.set(len(self._flows))
         self._m_touched.observe(len(finished) + len(touched))
+        self._complete(finished, now)
+
+    def _complete(self, finished: list[Flow], now: float) -> None:
+        """Completion bookkeeping — the *single* place a flow is
+        resolved: counters, goodput observation, ``done.succeed``.
+        Both the horizon path (:meth:`_finish`) and the tick path
+        (:meth:`_resample_all`) end here, so they cannot drift."""
+        self.flows_finished += len(finished)
         for f in finished:
             duration = now - f.started_at
             if duration > 0:
@@ -355,7 +373,7 @@ class FlowScheduler:
         if not self._flows:
             return
         now = self.sim.now
-        self._m_reconciles.inc()
+        self.reconciles += 1
         self._resample_all(now)
         self._after_event(now)
 
@@ -372,13 +390,28 @@ class FlowScheduler:
             self._set_rate(f, now)
         self._m_touched.observe(len(self._flows) + len(finished))
         if finished:
-            self._m_finished.inc(len(finished))
-            self._m_active.set(len(self._flows))
-            for f in finished:
-                duration = now - f.started_at
-                if duration > 0:
-                    self._m_goodput.observe(f.size_bits / duration / 1e6)
-                f.done.succeed(f)
+            self._complete(finished, now)
+        # A tick re-rates every flow, so most pre-tick heap entries
+        # just went stale; sweep them now instead of letting churn
+        # accumulate dead entries between ``_next_horizon`` pops.
+        self._sweep_horizon()
+
+    def _sweep_horizon(self) -> None:
+        """Drop stale horizon entries (detached flows, superseded
+        versions) when they dominate the heap.
+
+        ``_next_horizon`` only pops stale entries that reach the top;
+        entries for long-lived re-rated flows can sit mid-heap
+        indefinitely.  Heap keys are unique, so re-heapifying the live
+        entries preserves pop order exactly.
+        """
+        heap = self._horizon
+        flows = self._flows
+        live = [e for e in heap if e[2] == e[3].ver and e[3] in flows]
+        if len(live) < len(heap):
+            heapq.heapify(live)
+            self._horizon = live
+            self.horizon_swept += len(heap) - len(live)
 
     def _after_event(self, now: float) -> None:
         """Re-phase the tick, update stall state, re-arm the timer.
@@ -401,7 +434,7 @@ class FlowScheduler:
             # Count *episodes* of total stall, not reschedules: an
             # unrelated flow arriving during an outage must not inflate
             # the metric.
-            self._m_stalled_windows.inc()
+            self.stall_windows += 1
         self._all_stalled = stalled
         self._reset_timer(now)
 
@@ -433,7 +466,7 @@ class FlowScheduler:
         now = self.sim.now
         self._timer = None
         self._timer_at = float("inf")
-        self._m_reconciles.inc()
+        self.reconciles += 1
         if now + _HORIZON_SLACK_S >= self._tick_at:
             # Periodic resample: every flow feels current contention
             # (and any flow that crept under the epsilon completes).
@@ -464,6 +497,41 @@ class FlowScheduler:
             if finished:
                 self._finish(finished, now)
         self._after_event(now)
+
+    # -- metrics ------------------------------------------------------------
+
+    def flush_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Publish batched scheduler counters into a metrics registry.
+
+        Mirrors :meth:`Simulator.flush_metrics`: counters publish
+        deltas since the last flush so repeated flushes never
+        double-count; ``registry`` defaults to the one given at
+        construction (a no-op with the default null registry).
+        """
+        reg = registry if registry is not None else self.metrics
+        if reg is None or not reg.enabled:
+            return
+        # Cold path: one lookup per flush, not per event, because the
+        # target registry can differ per call.
+        reg.counter("flow.started").inc(  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
+            self.flows_started - self._flushed_started
+        )
+        reg.counter("flow.finished").inc(  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
+            self.flows_finished - self._flushed_finished
+        )
+        reg.counter("flow.reconciles").inc(  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
+            self.reconciles - self._flushed_reconciles
+        )
+        reg.counter("flow.zero_rate_windows").inc(  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
+            self.stall_windows - self._flushed_stalls
+        )
+        self._flushed_started = self.flows_started
+        self._flushed_finished = self.flows_finished
+        self._flushed_reconciles = self.reconciles
+        self._flushed_stalls = self.stall_windows
+        active = reg.gauge("flow.active")  # simlint: disable=SIM006 -- per-flush lookup, registry varies per call
+        active.set(len(self._flows))
+        active.track_max(self.max_active)
 
 
 class Host:
@@ -951,6 +1019,11 @@ class Network:
 
     def _flow_rate_gate(self, flow: Flow) -> bool:
         return not self.is_partitioned(flow.src.hostname, flow.dst.hostname)
+
+    def flush_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Flush kernel and flow-scheduler batched counters in one call."""
+        self.sim.flush_metrics(registry)
+        self.flows.flush_metrics(registry)
 
     def is_partitioned(self, a: str, b: str) -> bool:
         """True when a unit from ``a`` to ``b`` would cross a cut."""

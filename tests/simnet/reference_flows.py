@@ -61,6 +61,10 @@ class ReferenceFlowScheduler:
     def active_flows(self) -> int:
         return len(self._flows)
 
+    def flush_metrics(self, registry: object = None) -> None:
+        """API parity with ``FlowScheduler``; the reference publishes
+        nothing (its diagnostics are read directly off the instance)."""
+
     def start_flow(self, src, dst, size_bits: float) -> Event:
         if size_bits <= 0:
             raise ValueError(f"flow size must be > 0, got {size_bits}")

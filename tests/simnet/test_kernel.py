@@ -597,6 +597,84 @@ class TestResourceCancel:
         assert res.queued == 0
 
 
+class TestAgendaCompaction:
+    """Cancel/re-arm churn must not grow the agenda without bound."""
+
+    def test_cancel_rearm_keeps_agenda_bounded(self, sim):
+        from repro.simnet.kernel import _COMPACT_MIN_TOMBSTONES
+
+        # A timer armed far in the future, superseded thousands of
+        # times before it ever fires — the flow scheduler's wake-up
+        # pattern.  Pre-compaction every tombstone stayed in the heap
+        # until its (distant) due time, so max_agenda_depth tracked
+        # the cancel count instead of the live timer count.
+        fired = []
+        for i in range(5000):
+            ev = sim.call_in(1e6 + i, fired.append, i)
+            sim.cancel(ev)
+        keep = sim.call_in(1.0, fired.append, "live")
+        sim.run()
+
+        assert fired == ["live"]
+        assert keep.processed
+        assert sim.max_agenda_depth <= 2 * _COMPACT_MIN_TOMBSTONES
+        assert sim.agenda_compactions > 0
+        assert sim.events_cancelled == 5000
+
+    def test_double_cancel_counts_one_tombstone(self, sim):
+        ev = sim.call_in(10.0, lambda: None)
+        sim.cancel(ev)
+        sim.cancel(ev)  # no-op: must not double-count the tombstone
+        assert sim._tombstones == 1
+        sim.run()
+        assert sim.events_cancelled == 1
+
+    def test_compaction_preserves_fifo_pop_order(self, sim):
+        """Unique heap keys mean re-heapifying the survivors cannot
+        change pop order — even among same-time entries (FIFO by seq)."""
+        order = []
+        events = [
+            sim.call_at(5.0, order.append, i) for i in range(200)
+        ]
+        # Cancel every other one; enough tombstones to force a sweep.
+        for ev in events[::2]:
+            sim.cancel(ev)
+        assert sim.agenda_compactions > 0
+        sim.run()
+        assert order == list(range(1, 200, 2))
+
+    def test_flush_metrics_reports_compactions(self, sim):
+        from repro.obs.metrics import MetricsRegistry
+
+        for _ in range(200):
+            sim.cancel(sim.call_in(100.0, lambda: None))
+        reg = MetricsRegistry()
+        sim.flush_metrics(reg)
+        assert (
+            reg.gauge("kernel.agenda_compactions").value
+            == sim.agenda_compactions
+            > 0
+        )
+
+
+class TestUnobservedFailureValue:
+    def test_exception_value_is_raised(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_non_exception_value_wrapped_in_simulation_error(self, sim):
+        # ``fail()`` enforces an exception value, but events built by
+        # hand (or mutated by buggy callers) can carry anything; the
+        # kernel must not attempt a bare ``raise "oops"``.
+        ev = sim.event()
+        ev.fail(RuntimeError("placeholder"))
+        ev._value = "oops"
+        with pytest.raises(SimulationError, match="non-exception value 'oops'"):
+            sim.run()
+
+
 class TestKernelInstrumentation:
     def test_events_processed_counts_steps(self, sim):
         def proc():

@@ -357,6 +357,7 @@ class TestZeroRateOutage:
 
         done = a.start_flow(b, mbit(200))  # 20 s of streaming at 10 Mbps
         sim.run()
+        net.flows.flush_metrics(reg)
 
         assert done.triggered
         # 10 s before the t=10 tick sees the outage, stalled through
@@ -392,6 +393,7 @@ class TestZeroRateOutage:
         p = sim.process(driver())
         sim.run(until=p)
         sim.run()
+        net.flows.flush_metrics(reg)
         # One outage, however many arrivals and tick polls during it.
         assert reg.counter("flow.zero_rate_windows").value == 1
         assert reg.counter("flow.finished").value == 2
@@ -443,3 +445,110 @@ class TestCrashDuringTransfer:
         assert report.attempts == 2
         assert report.wasted_bits == mbit(100)
         assert b.bits_received == mbit(100)
+
+
+class TestHorizonSweep:
+    """Stale completion-horizon entries must not accumulate across
+    ticks — each re-rate pushes a fresh heap entry, and churn-heavy
+    runs used to keep every superseded version until it bubbled to
+    the top."""
+
+    def test_tick_sweeps_stale_horizon_entries(self):
+        sim = Simulator()
+        net = Network(sim, make_two_node_topology(), streams=RandomStreams(1))
+        a, b = net.host("a.example"), net.host("b.example")
+        dones = []
+
+        def driver():
+            # 30 staggered arrivals on one shared link: arrival k
+            # re-rates all k existing flows, so ~O(n^2) heap entries
+            # go stale before the first tick.
+            for _ in range(30):
+                dones.append(a.start_flow(b, mbit(50)))
+                yield 0.1
+
+        p = sim.process(driver())
+        sim.run(until=p)
+        stale_before_tick = len(net.flows._horizon)
+        # Run past the first periodic resample (tick = 10 s).
+        sim.run(until=sim.now + net.flows.tick + 1.0)
+        assert net.flows.horizon_swept > 0
+        # Post-sweep the heap holds at most one live entry per flow.
+        assert len(net.flows._horizon) <= len(net.flows._flows)
+        assert len(net.flows._horizon) < stale_before_tick
+        sim.run()
+        assert all(d.triggered and d.ok for d in dones)
+        assert net.flows.flows_finished == 30
+
+    def test_sweep_preserves_completion_times(self):
+        """The sweep must be invisible to results: the same workload
+        with sweeping forced off completes at identical times."""
+
+        def run_workload(disable_sweep):
+            sim = Simulator()
+            net = Network(
+                sim, make_two_node_topology(), streams=RandomStreams(1)
+            )
+            if disable_sweep:
+                net.flows._sweep_horizon = lambda: None
+            a, b = net.host("a.example"), net.host("b.example")
+            completions = []
+
+            def driver():
+                for i in range(20):
+                    done = a.start_flow(b, mbit(50))
+                    done.callbacks.append(
+                        lambda _ev, i=i: completions.append((i, sim.now))
+                    )
+                    yield 0.3
+
+            sim.process(driver())
+            sim.run()
+            return [sim.now] + completions
+
+        assert run_workload(False) == run_workload(True)
+
+
+class TestUnifiedCompletionPath:
+    """Horizon-path and tick-path completions share one bookkeeping
+    seam (``_complete``): counters and the goodput histogram must agree
+    however a flow happens to finish."""
+
+    def _run_single(self, flow_tick):
+        from repro.obs.metrics import MetricsRegistry
+
+        sim = Simulator()
+        reg = MetricsRegistry()
+        net = Network(
+            sim,
+            make_two_node_topology(),
+            streams=RandomStreams(1),
+            flow_tick=flow_tick,
+            metrics=reg,
+        )
+        a, b = net.host("a.example"), net.host("b.example")
+        done = a.start_flow(b, mbit(100))  # exactly 10 s at 10 Mbps
+        sim.run()
+        net.flows.flush_metrics(reg)
+        assert done.triggered and done.ok
+        assert sim.now == pytest.approx(10.0)
+        return net.flows, reg
+
+    def test_horizon_path_completion(self):
+        # tick >> duration: the completion horizon fires first.
+        flows, reg = self._run_single(flow_tick=100.0)
+        assert flows.flows_finished == 1
+        assert reg.counter("flow.finished").value == 1
+        hist = reg.histogram("flow.goodput_mbps")
+        assert hist.count == 1
+        assert hist.mean == pytest.approx(10.0)
+
+    def test_tick_path_completion(self):
+        # tick == duration: the t=10 timer takes the resample branch
+        # and completes the flow there.
+        flows, reg = self._run_single(flow_tick=10.0)
+        assert flows.flows_finished == 1
+        assert reg.counter("flow.finished").value == 1
+        hist = reg.histogram("flow.goodput_mbps")
+        assert hist.count == 1
+        assert hist.mean == pytest.approx(10.0)
