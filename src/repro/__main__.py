@@ -36,6 +36,7 @@ from repro.experiments import (
     fig6_selection,
     fig7_execution,
     scale,
+    swarming,
     table1_nodes,
 )
 
@@ -73,10 +74,14 @@ ARTIFACTS: Dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
         "extension: selection policies x fault profiles (see --faults)",
         _needs_config(resilience.run),
     ),
+    "swarming": (
+        "extension: multi-source downloads, k sources x selection model",
+        _needs_config(swarming.run),
+    ),
 }
 
 #: Artifacts too expensive for the default run-everything invocation.
-_OPT_IN = frozenset({"scale-large", "resilience"})
+_OPT_IN = frozenset({"scale-large", "resilience", "swarming"})
 
 
 def main(argv=None) -> int:

@@ -16,8 +16,10 @@ Fig. 7    execution vs transmission & execution       :mod:`.fig7_execution`
 
 Extensions beyond the paper (flagged as such): :mod:`.scale` (the
 stated future work — larger peer pools), :mod:`.churn` (selection
-under peer churn with liveness filtering) and :mod:`.resilience`
-(selection policies crossed with :mod:`repro.faults` profiles).
+under peer churn with liveness filtering), :mod:`.resilience`
+(selection policies crossed with :mod:`repro.faults` profiles) and
+:mod:`.swarming` (fig5's granularity sweep with k concurrent sources
+per selection model — :mod:`repro.swarm`).
 """
 
 from repro.experiments.scenario import ExperimentConfig, Session
@@ -32,6 +34,7 @@ from repro.experiments import (
     fig6_selection,
     fig7_execution,
     scale,
+    swarming,
     table1_nodes,
 )
 
@@ -50,4 +53,5 @@ __all__ = [
     "scale",
     "churn",
     "resilience",
+    "swarming",
 ]

@@ -23,6 +23,7 @@ from repro.overlay.ids import IdFactory
 from repro.overlay.peer import PeerConfig
 from repro.recovery.config import RecoveryConfig
 from repro.recovery.standby import FailoverDirector
+from repro.swarm.config import SwarmConfig
 from repro.simnet.kernel import Simulator
 from repro.simnet.planetlab import PlanetLabTestbed, build_testbed
 from repro.simnet.rng import RandomStreams
@@ -66,6 +67,9 @@ class ExperimentConfig:
     #: Self-healing layer (transfer resume, standby broker failover,
     #: degraded-mode selection); None = no recovery, faults lose work.
     recovery: Optional[RecoveryConfig] = None
+    #: Multi-source swarming knobs (choke slots, endgame duplication,
+    #: re-assignment); None = the swarming experiment uses defaults.
+    swarm: Optional[SwarmConfig] = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -108,6 +112,8 @@ class ExperimentConfig:
             out["fault_plan"] = self.fault_plan.to_dict()
         if self.recovery is not None:
             out["recovery"] = self.recovery.to_dict()
+        if self.swarm is not None:
+            out["swarm"] = self.swarm.to_dict()
         return out
 
     @classmethod
@@ -117,6 +123,7 @@ class ExperimentConfig:
         peer_config = data.pop("peer_config", None)
         fault_plan = data.pop("fault_plan", None)
         recovery = data.pop("recovery", None)
+        swarm = data.pop("swarm", None)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -127,6 +134,8 @@ class ExperimentConfig:
             data["fault_plan"] = FaultPlan.from_dict(fault_plan)
         if recovery is not None:
             data["recovery"] = RecoveryConfig.from_dict(recovery)
+        if swarm is not None:
+            data["swarm"] = SwarmConfig.from_dict(swarm)
         return cls(**data)
 
     def save(self, path) -> None:

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import HostDownError, TransferAborted
 from repro.overlay.advertisements import PeerAdvertisement
@@ -209,6 +209,7 @@ class TransferHandle:
         size_bits: float,
         is_last_mb: bool = False,
         index: Optional[int] = None,
+        cancel_if: Optional[Callable[[], bool]] = None,
     ):
         """Generator process: stream one part and await its confirm.
 
@@ -218,6 +219,13 @@ class TransferHandle:
         :class:`PartRecord`; raises :class:`TransferAborted` on retry
         exhaustion or integrity mismatch (the handle then cancels
         itself).
+
+        ``cancel_if`` is the endgame hook for swarm downloads: checked
+        once after the bulk stream lands, and if it returns True the
+        notice/confirm round is skipped and the part returns ``None``
+        (not recorded, not checkpointed) — another source proved the
+        same piece while this copy was in flight.  The bulk unit
+        itself cannot be recalled mid-flow.
         """
         if self.closed:
             raise TransferAborted(f"transfer {self.transfer_id.short} is closed")
@@ -249,6 +257,8 @@ class TransferHandle:
             )
             rec.attempts = report.attempts
             rec.bulk_done_at = sim.now
+            if cancel_if is not None and cancel_if():
+                return None
             expected = part_digest(self.outcome.filename, index, size_bits)
             notice = PartNotice(
                 transfer_id=self.transfer_id,
@@ -382,6 +392,11 @@ class FileTransferService:
         #: Waiters for inbound file completions, keyed by filename
         #: (file-sharing fetches block on these).
         self._file_waiters: Dict[str, list] = {}
+        #: Distinct confirmed part indices per swarmed filename
+        #: (streams with ``FilePetition.file_n_parts`` set) — the union
+        #: across every inbound stream of that file.  Used only for
+        #: membership and counting, never iterated.
+        self._file_progress: Dict[str, set] = {}
         #: Open *outbound* handles per destination hostname — the
         #: ready-time estimator discounts these so a broker does not
         #: mistake its own open transfer for foreign load.
@@ -408,11 +423,18 @@ class FileTransferService:
         filename: str,
         total_bits: float,
         n_parts_hint: int = OPEN_ENDED,
+        file_n_parts: int = 0,
     ):
         """Generator process: run the petition round and open a handle.
 
         Returns a :class:`TransferHandle`.  Raises
         :class:`TransferAborted` if the receiver never acknowledges.
+
+        ``file_n_parts`` marks this stream as one of several delivering
+        the same logical file (a swarm download): the receiver then
+        signals :meth:`wait_for_file` once that many distinct part
+        indices are confirmed *across all streams*, instead of when any
+        single stream completes.
         """
         peer = self.peer
         cfg = peer.config
@@ -434,6 +456,7 @@ class FileTransferService:
             filename=filename,
             total_bits=total_bits,
             n_parts=n_parts_hint,
+            file_n_parts=file_n_parts,
         )
         peer.stats.pending_transfers += 1
         backoff_s = cfg.petition_backoff_base_s
@@ -594,6 +617,17 @@ class FileTransferService:
                 expected = state.petition.n_parts
                 if expected != OPEN_ENDED and len(state.confirmed_parts) >= expected:
                     self._finish_incoming(state)
+                file_parts = getattr(state.petition, "file_n_parts", 0)
+                if file_parts:
+                    # Swarmed file: completion is the union of distinct
+                    # indices across all of its inbound streams.
+                    got = self._file_progress.setdefault(
+                        state.petition.filename, set()
+                    )
+                    got.add(notice.index)
+                    if len(got) >= file_parts:
+                        del self._file_progress[state.petition.filename]
+                        self._signal_file(state.petition)
         if not peer.host.is_up:
             return  # crashed while persisting: nothing to confirm
         confirm = PartConfirm(
@@ -617,10 +651,18 @@ class FileTransferService:
         if not state.done:
             state.done = True
             self.peer.stats.pending_transfers -= 1
-            waiters = self._file_waiters.pop(state.petition.filename, None)
-            if waiters:
-                for ev in waiters:
-                    ev.succeed(state.petition)
+            if getattr(state.petition, "file_n_parts", 0):
+                # One stream of a swarmed file closing says nothing
+                # about the file: arrival is signalled from the
+                # cross-stream part union in ``_confirm_part``.
+                return
+            self._signal_file(state.petition)
+
+    def _signal_file(self, petition: FilePetition) -> None:
+        waiters = self._file_waiters.pop(petition.filename, None)
+        if waiters:
+            for ev in waiters:
+                ev.succeed(petition)
 
     def wait_for_file(self, filename: str):
         """Event: an inbound transfer of ``filename`` completes.

@@ -320,6 +320,11 @@ class FilePetition:
     filename: str
     total_bits: float
     n_parts: int
+    #: Parts in the *whole logical file* when this stream is one of
+    #: several (a swarm download): the receiver treats the file as
+    #: arrived once that many distinct part indices are confirmed
+    #: across all streams.  0 = single-stream transfer (legacy).
+    file_n_parts: int = 0
 
 
 @dataclass(frozen=True)

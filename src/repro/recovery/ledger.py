@@ -165,6 +165,26 @@ class TransferLedger:
             confirmed_at=now,
         )
 
+    def truncate(self, filename: str, keep_parts: int) -> Tuple[int, ...]:
+        """Drop proofs at index >= ``keep_parts`` (a durable store that
+        lost its tail).  The layout is preserved — only proofs go, so a
+        resume re-sends exactly the dropped parts.  Returns the dropped
+        indices, ascending; unknown files drop nothing.
+        """
+        if keep_parts < 0:
+            raise RecoveryError(
+                f"keep_parts must be >= 0, got {keep_parts}"
+            )
+        entry = self._entries.get(filename)
+        if entry is None:
+            return ()
+        dropped = tuple(
+            i for i in sorted(entry.proofs) if i >= keep_parts
+        )
+        for i in dropped:
+            del entry.proofs[i]
+        return dropped
+
     def entry(self, filename: str) -> LedgerEntry:
         """The entry for ``filename`` (raises if never opened)."""
         try:

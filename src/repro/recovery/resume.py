@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from repro.errors import HostDownError, TransferAborted
+from repro.errors import HostDownError, RecoveryError, TransferAborted
 from repro.overlay.filetransfer import FileTransferOutcome, split_even
 from repro.overlay.ids import PeerId
 from repro.overlay.advertisements import PeerAdvertisement
@@ -138,6 +138,21 @@ class ResumableSender:
         peers: List[PeerId] = []
         attempt = 0
         while attempt < cfg.max_transfer_attempts:
+            # Re-fetch the entry every attempt: a mid-delivery discard
+            # (or discard + reopen) would otherwise leave this loop
+            # reading a stale, detached entry while the transfer
+            # service writes new proofs to the live one — the resume
+            # would then re-send parts forever or skip unproven ones.
+            try:
+                entry = self.ledger.open(
+                    filename, total_bits, sizes, now=self.sim.now
+                )
+            except RecoveryError as exc:
+                # The entry was replaced with a different layout while
+                # we were delivering; the recorded proofs no longer
+                # describe our parts.  Classify, don't raise.
+                out.reason = f"RecoveryError: {exc}"
+                break
             if cfg.resume:
                 remaining = entry.remaining()
             else:

@@ -268,3 +268,66 @@ class TestReceiverProtocol:
         )
         assert outcome.petition_received_at > outcome.petition_sent_at
         assert outcome.ack_received_at >= outcome.petition_received_at
+
+
+class TestSwarmedFileCompletion:
+    """``file_n_parts`` streams: arrival is the cross-stream union of
+    distinct confirmed part indices, not any single stream's close."""
+
+    def _open(self, sim, broker, client, filename="swarmed"):
+        return run_process(
+            sim,
+            broker.transfers.open_transfer(
+                client.advertisement(),
+                filename,
+                mbit(4),
+                file_n_parts=2,
+            ),
+        )
+
+    def test_union_across_streams_signals_arrival(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        waiter = client.transfers.wait_for_file("swarmed")
+        a = self._open(sim, broker, client)
+        b = self._open(sim, broker, client)
+        run_process(sim, a.send_part(mbit(2), index=1))
+        assert not waiter.triggered  # one distinct index of two
+        run_process(sim, b.send_part(mbit(2), index=0))
+        assert waiter.triggered
+        assert waiter.value.filename == "swarmed"
+
+    def test_duplicate_index_not_double_counted(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        waiter = client.transfers.wait_for_file("swarmed")
+        a = self._open(sim, broker, client)
+        b = self._open(sim, broker, client)
+        run_process(sim, a.send_part(mbit(2), index=1))
+        # The same index on a second stream grows the union by nothing.
+        run_process(sim, b.send_part(mbit(2), index=1))
+        assert not waiter.triggered
+        run_process(sim, a.send_part(mbit(2), index=0))
+        assert waiter.triggered
+
+    def test_single_stream_close_does_not_signal(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        waiter = client.transfers.wait_for_file("swarmed")
+        a = self._open(sim, broker, client)
+        run_process(sim, a.send_part(mbit(2), index=0))
+        a.close()
+        sim.run(until=sim.now + 1.0)
+        # The stream finished but the file is one index short.
+        assert not waiter.triggered
+        assert client.transfers.incoming_open() == 0
+
+    def test_cancelled_wait_never_fires(self, overlay_pair, sim):
+        broker, client, net = overlay_pair
+        connect(sim, broker, client)
+        waiter = client.transfers.wait_for_file("swarmed")
+        client.transfers.cancel_wait_for_file("swarmed", waiter)
+        a = self._open(sim, broker, client)
+        run_process(sim, a.send_part(mbit(2), index=0))
+        run_process(sim, a.send_part(mbit(2), index=1))
+        assert not waiter.triggered

@@ -104,3 +104,55 @@ class TestDiscard:
         ledger.discard("f.bin")
         assert "f.bin" not in ledger
         ledger.discard("f.bin")  # idempotent
+
+
+class TestTruncate:
+    """A durable store that lost its tail: proofs go, layout stays."""
+
+    def _proved(self, n_parts=4):
+        ledger, entry, sizes = make_ledger(n_parts=n_parts)
+        for i in range(n_parts):
+            ledger.record_confirmed(
+                "f.bin", i, sizes[i], part_digest("f.bin", i, sizes[i])
+            )
+        return ledger, entry, sizes
+
+    def test_drops_tail_proofs_and_returns_indices(self):
+        ledger, entry, sizes = self._proved()
+        assert entry.is_complete
+        dropped = ledger.truncate("f.bin", keep_parts=2)
+        assert dropped == (2, 3)
+        assert entry.verified_indices() == (0, 1)
+        assert not entry.is_complete
+        # remaining() re-expands to exactly the dropped parts.
+        assert entry.remaining() == [(2, sizes[2]), (3, sizes[3])]
+
+    def test_truncate_to_zero_drops_everything(self):
+        ledger, entry, sizes = self._proved()
+        assert ledger.truncate("f.bin", keep_parts=0) == (0, 1, 2, 3)
+        assert entry.verified_indices() == ()
+        assert entry.verified_bits == 0.0
+
+    def test_keep_beyond_proofs_is_noop(self):
+        ledger, entry, _ = self._proved()
+        assert ledger.truncate("f.bin", keep_parts=9) == ()
+        assert entry.is_complete
+
+    def test_negative_keep_raises(self):
+        ledger, _, _ = self._proved()
+        with pytest.raises(RecoveryError):
+            ledger.truncate("f.bin", keep_parts=-1)
+
+    def test_unknown_file_drops_nothing(self):
+        ledger = TransferLedger()
+        assert ledger.truncate("ghost", keep_parts=0) == ()
+
+    def test_reproof_after_truncate(self):
+        # The dropped parts re-verify against the unchanged layout —
+        # the whole point of preserving it.
+        ledger, entry, sizes = self._proved()
+        ledger.truncate("f.bin", keep_parts=3)
+        ledger.record_confirmed(
+            "f.bin", 3, sizes[3], part_digest("f.bin", 3, sizes[3])
+        )
+        assert entry.is_complete

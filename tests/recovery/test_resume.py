@@ -154,6 +154,92 @@ class TestCrashResume:
         assert out.parts_sent > N_PARTS
 
 
+class TestLedgerEdgeCases:
+    """Resume against a ledger whose state changed underneath it."""
+
+    def test_resume_after_ledger_truncation_resends_exactly_the_tail(self):
+        # A durable store lost its tail: a fresh delivery of the same
+        # file must re-send exactly the dropped parts, nothing more.
+        session = Session(_config())
+
+        def scenario(s):
+            sender = ResumableSender(s.broker, s.config.recovery)
+
+            def select(attempt, failed):
+                # A reliable receiver: the test is about ledger
+                # bookkeeping, not link-level retransmission luck.
+                recs = [r for r in s.candidates() if r.adv.name == "SC4"]
+                return recs[0].adv if recs else None
+
+            first = yield s.sim.process(
+                sender.send_file(select, "big.bin", TOTAL_BITS, n_parts=N_PARTS)
+            )
+            assert first.ok
+            dropped = sender.ledger.truncate("big.bin", keep_parts=8)
+            assert dropped == tuple(range(8, N_PARTS))
+            second = yield s.sim.process(
+                sender.send_file(select, "big.bin", TOTAL_BITS, n_parts=N_PARTS)
+            )
+            return second, sender.ledger
+
+        out, ledger = session.run(scenario)
+        assert out.ok
+        assert out.resumes == 1
+        assert out.parts_skipped == 8
+        assert out.parts_sent == N_PARTS - 8
+        assert {p.index for o in out.outcomes for p in o.parts} == set(
+            range(8, N_PARTS)
+        )
+        entry = ledger.entry("big.bin")
+        assert entry.is_complete
+        assert entry.verified_bits == pytest.approx(TOTAL_BITS)
+
+    def test_mid_delivery_discard_rebuilds_from_live_entry(self):
+        # Regression: the attempt loop used to hold the entry fetched
+        # at send_file start; a mid-delivery discard left it reading a
+        # detached object while the service wrote proofs to a new live
+        # one.  The loop must re-fetch per attempt and re-send the
+        # whole file against the recreated (proof-less) entry.
+        session = Session(
+            _config(fault_plan=_crash_receiver_plan(), trace=True)
+        )
+
+        def scenario(s):
+            sender = ResumableSender(s.broker, s.config.recovery)
+
+            def select(attempt, failed):
+                if attempt == 1:
+                    recs = [r for r in s.candidates() if r.adv.name == "SC4"]
+                else:
+                    recs = [
+                        r
+                        for r in s.candidates()
+                        if r.peer_id not in failed and r.adv.name != "SC4"
+                    ]
+                return recs[0].adv if recs else None
+
+            proc = s.sim.process(
+                sender.send_file(select, "big.bin", TOTAL_BITS, n_parts=N_PARTS)
+            )
+            # The receiver crashes at t=90 with parts already proven;
+            # wipe the ledger while attempt 1 is still dying.
+            yield 95.0
+            sender.ledger.discard("big.bin")
+            out = yield proc
+            return out, sender.ledger
+
+        out, ledger = session.run(scenario)
+        assert out.ok
+        # No proofs survived the discard, so nothing was skippable.
+        assert out.resumes == 0
+        assert out.parts_skipped == 0
+        # Attempt 1's pre-crash parts were re-sent by attempt 2.
+        assert out.parts_sent > N_PARTS
+        entry = ledger.entry("big.bin")
+        assert entry.is_complete
+        assert entry.verified_bits == pytest.approx(TOTAL_BITS)
+
+
 class TestSupervision:
     def test_petition_queues_while_sender_down(self):
         session = Session(_config(trace=True))

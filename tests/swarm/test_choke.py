@@ -1,0 +1,191 @@
+"""Tests for ChokeManager: peak-rate slots, pinning, parking floor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.swarm.choke import ChokeManager
+
+
+def make(slots=2, optimistic_every=4, drop_below=0.5):
+    return ChokeManager(
+        slots, optimistic_every=optimistic_every, drop_below=drop_below
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ChokeManager(0)
+        with pytest.raises(ValueError):
+            ChokeManager(1, optimistic_every=0)
+        with pytest.raises(ValueError):
+            ChokeManager(1, drop_below=1.0)
+        with pytest.raises(ValueError):
+            ChokeManager(1, drop_below=-0.1)
+
+
+class TestMembership:
+    def test_admit_within_slots_unchokes(self):
+        c = make(slots=2)
+        c.admit("a")
+        c.admit("b")
+        c.admit("c")
+        assert c.unchoked("a") and c.unchoked("b")
+        assert not c.unchoked("c")
+        assert c.members() == ("a", "b", "c")
+
+    def test_admit_is_idempotent(self):
+        c = make()
+        c.admit("a")
+        c.admit("a")
+        assert c.members() == ("a",)
+
+    def test_slot_cap_never_exceeded(self):
+        c = make(slots=2)
+        for name in "abcdef":
+            c.admit(name)
+        assert len(c.unchoked_names()) <= 2
+        for _ in range(10):
+            c.on_proof()
+            assert len(c.unchoked_names()) <= 2
+
+    def test_drop_refills_the_slot(self):
+        c = make(slots=1)
+        c.admit("a")
+        c.admit("b")
+        assert c.unchoked("a") and not c.unchoked("b")
+        c.drop("a")
+        assert c.unchoked("b")
+        assert c.members() == ("b",)
+
+
+class TestObservations:
+    def test_rate_is_cumulative_peak_is_best_sample(self):
+        c = make()
+        c.admit("a")
+        c.record("a", bits=10e6, seconds=1.0)   # 10 Mbps sample
+        c.record("a", bits=10e6, seconds=9.0)   # 1.1 Mbps sample
+        assert c.rate("a") == pytest.approx(2e6)
+        assert c.peak("a") == pytest.approx(10e6)
+        assert c.measured("a")
+
+    def test_zero_seconds_ignored(self):
+        c = make()
+        c.admit("a")
+        c.record("a", bits=1e6, seconds=0.0)
+        assert not c.measured("a")
+        assert c.rate("a") == 0.0
+        assert c.peak("a") == 0.0
+
+
+class TestRanking:
+    def _measured(self, c, name, mbps):
+        c.admit(name)
+        c.record(name, bits=mbps * 1e6, seconds=1.0)
+
+    def test_peak_ranked_best_hold_slots(self):
+        c = make(slots=2)
+        self._measured(c, "slow", 2.0)
+        self._measured(c, "fast", 10.0)
+        self._measured(c, "mid", 6.0)
+        c.on_proof()
+        assert set(c.unchoked_names()) == {"fast", "mid"}
+
+    def test_below_floor_source_parked_when_slots_contested(self):
+        # floor = 0.5 * best = 5 Mbps; "slow" (2) is deadweight.
+        c = make(slots=2)
+        self._measured(c, "fast", 10.0)
+        self._measured(c, "mid", 8.0)
+        self._measured(c, "slow", 2.0)
+        c.on_proof()
+        assert not c.unchoked("slow")
+
+    def test_free_slot_stays_optimistic_for_parked_sources(self):
+        # With a slot to spare, one parked source re-measures — a peak
+        # ruined by one retransmission must be able to heal.
+        c = make(slots=3)
+        self._measured(c, "fast", 10.0)
+        self._measured(c, "mid", 8.0)
+        self._measured(c, "slow", 2.0)
+        c.on_proof()
+        assert c.unchoked("slow")
+
+    def test_measurement_outranks_mediocre_rank(self):
+        # An unmeasured source takes the free slot over a measured
+        # below-floor one: rating costs one part and unlocks ranking.
+        c = make(slots=2)
+        self._measured(c, "fast", 10.0)
+        self._measured(c, "slow", 1.0)
+        c.admit("fresh")
+        c.on_proof()
+        assert c.unchoked("fast") and c.unchoked("fresh")
+        assert not c.unchoked("slow")
+
+    def test_optimistic_rotation_cycles_unmeasured(self):
+        c = make(slots=1, optimistic_every=1)
+        for name in ("a", "b", "c"):
+            c.admit(name)
+        seen = set()
+        for _ in range(3):
+            seen.update(c.unchoked_names())
+            c.on_proof()
+        assert seen == {"a", "b", "c"}
+
+
+class TestPinning:
+    def test_pin_requires_admission(self):
+        c = make()
+        with pytest.raises(KeyError):
+            c.pin("ghost")
+
+    def test_pinned_origin_survives_being_worst(self):
+        c = make(slots=2)
+        c.admit("origin")
+        c.pin("origin")
+        assert c.pinned("origin")
+        c.record("origin", bits=1e5, seconds=1.0)  # 0.1 Mbps: terrible
+        for name, mbps in (("r1", 10.0), ("r2", 8.0), ("r3", 6.0)):
+            c.admit(name)
+            c.record(name, bits=mbps * 1e6, seconds=1.0)
+        c.on_proof()
+        assert c.unchoked("origin")
+        assert len(c.unchoked_names()) == 2
+
+    def test_drop_unpins(self):
+        c = make()
+        c.admit("origin")
+        c.pin("origin")
+        c.drop("origin")
+        assert not c.pinned("origin")
+        assert "origin" not in c.members()
+
+
+class TestForceUnchoke:
+    def test_evicts_worst_ranked_nonpinned(self):
+        c = make(slots=2)
+        c.admit("fast")
+        c.record("fast", bits=10e6, seconds=1.0)
+        c.admit("mid")
+        c.record("mid", bits=6e6, seconds=1.0)
+        c.admit("parked")
+        c.force_unchoke("parked")
+        assert c.unchoked("parked") and c.unchoked("fast")
+        assert not c.unchoked("mid")
+        assert len(c.unchoked_names()) == 2
+
+    def test_spares_pins_unless_all_pinned(self):
+        c = make(slots=1)
+        c.admit("origin")
+        c.pin("origin")
+        c.admit("holder")
+        # Only slot is pinned: stall-breaking outranks the privilege.
+        c.force_unchoke("holder")
+        assert c.unchoked("holder")
+
+    def test_noop_for_unknown_or_already_unchoked(self):
+        c = make(slots=1)
+        c.admit("a")
+        c.force_unchoke("a")
+        c.force_unchoke("ghost")
+        assert c.unchoked_names() == ("a",)

@@ -1,0 +1,143 @@
+"""Differential equivalence: swarming at k=1 is the single-peer path.
+
+The swarm engine must *reduce* to the legacy
+``FileTransferService.send_file`` pipeline when it streams from a
+single source: same petition/ack round, same per-part bulk + confirm
+sequence, one ``TransferComplete``.  Part sizes are equal at every
+granularity swept here, so the rarest-first/seeded piece *order* is
+timing-neutral and the reduction must hold to the bit, not just
+approximately.
+
+The mirror scenario below replays ``_cell_scenario``'s exact preamble
+(same session seed, same replica pool, same warmup probes — they feed
+from the same RNG streams) and then drives the legacy ``send_file``
+instead of a :class:`SwarmCoordinator`.  Rows are compared with ``==``
+(float bit-identity) and the aggregated summaries with
+:func:`repro.analysis.stats.summaries_identical`, for all three
+selection models at 1/4/16 parts.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict
+
+from repro.analysis.stats import summaries_identical
+from repro.experiments import swarming
+from repro.experiments.runner import average_rows, run_repetitions
+from repro.experiments.scenario import ExperimentConfig
+from repro.experiments.swarming import GRANULARITIES, MODELS, TESTBEDS
+
+N_REPS = 2
+SEED = 61031
+
+
+def _config() -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=SEED,
+        repetitions=N_REPS,
+        synthetic_nodes=swarming.N_SYNTHETIC,
+    )
+
+
+def _legacy_cell_scenario(
+    session,
+    testbed: str = "synthetic",
+    model: str = MODELS[0],
+    g: int = 16,
+):
+    """``_cell_scenario`` with ``send_file`` in place of the swarm.
+
+    Identical preamble (pool + warmup), identical filename (the
+    seeded-priority stream is keyed by it), identical row keys — only
+    the transfer engine differs.
+    """
+    sim = session.sim
+    dest_label = TESTBEDS[testbed]
+    dest = session.client(dest_label)
+    replicas = yield sim.process(
+        swarming._replica_pool(session, testbed, dest_label)
+    )
+    yield sim.process(swarming._warmup(session, replicas))
+
+    filename = f"swarm-{testbed}-{model}-k1-g{g}"
+    started = sim.now
+    outcome = yield sim.process(
+        session.broker.transfers.send_file(
+            dest.advertisement(),
+            filename,
+            swarming.FILE_BITS,
+            n_parts=g,
+        )
+    )
+    completion = outcome.finished_at - started
+    if len(outcome.parts) >= 2:
+        tail = (
+            outcome.parts[-1].confirmed_at - outcome.parts[-2].confirmed_at
+        )
+    else:
+        tail = outcome.transmission_time
+    key = f"{testbed}/{model}/k1/g{g}"
+    rows: Dict[str, float] = {
+        key: completion,
+        f"{key}/tail": tail,
+        f"{testbed}/completed": 1.0,
+        f"{testbed}/aborted": 0.0,
+        f"{testbed}/censored": 0.0,
+    }
+    return rows
+
+
+def _swarm_rows(model: str, g: int):
+    return run_repetitions(
+        _config(),
+        partial(
+            swarming._cell_scenario,
+            testbed="synthetic",
+            model=model,
+            k=1,
+            g=g,
+        ),
+    )
+
+
+def _legacy_rows(model: str, g: int):
+    return run_repetitions(
+        _config(),
+        partial(
+            _legacy_cell_scenario,
+            testbed="synthetic",
+            model=model,
+            g=g,
+        ),
+    )
+
+
+class TestDifferentialK1:
+    """k=1 swarm downloads reduce bit-identically to ``send_file``."""
+
+    def test_rows_and_summaries_bit_identical(self):
+        for model in MODELS:
+            for g in GRANULARITIES:
+                swarm_rows = _swarm_rows(model, g)
+                legacy_rows = _legacy_rows(model, g)
+                label = f"{model} g={g}"
+                # Exact per-repetition float equality — the engines
+                # walked the same wire path, not merely similar ones.
+                assert swarm_rows == legacy_rows, (
+                    f"{label}: {swarm_rows} != {legacy_rows}"
+                )
+                # And the published artifact view agrees bit-for-bit.
+                assert summaries_identical(
+                    average_rows(swarm_rows), average_rows(legacy_rows)
+                ), label
+
+    def test_completion_positive_and_tail_bounded(self):
+        """Sanity on the measured quantities themselves: a real
+        transfer took time, and the last-piece tail is a fraction of
+        it (it is two confirm deltas, not the whole download)."""
+        rows = _swarm_rows(MODELS[0], 16)
+        for row in rows:
+            key = "synthetic/economic/k1/g16"
+            assert row[key] > 0
+            assert 0 < row[f"{key}/tail"] < row[key]
