@@ -1,0 +1,70 @@
+"""The declared trace-event schema: every event the system emits.
+
+Trace analyses (the resilience matrix's censored-vs-aborted
+accounting, swarm piece-flow debugging, fault timelines) join events
+across modules by name and field.  This table declares that contract:
+one ``TraceEventSpec`` per event kind, with the fields every emit
+site must carry.  simlint's SIM012 rule statically cross-references
+each ``tracer.record("event", t, field=...)`` literal in ``src/``
+against it — undeclared events (with did-you-mean), missing required
+fields and orphan schema entries all fail CI.
+
+Emit sites that splat ``**attrs`` are trusted for field coverage (the
+splat may carry anything) but still name-checked.  The linter reads
+the constructor literals, so every ``TraceEventSpec`` must be a plain
+call with constant name and a literal tuple of field names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["TraceEventSpec", "TRACE_EVENTS", "TRACE_SCHEMA", "trace_event_names"]
+
+
+@dataclass(frozen=True)
+class TraceEventSpec:
+    """One declared trace-event kind."""
+
+    name: str
+    #: Fields every emit site must pass as keyword attrs.
+    required: Tuple[str, ...]
+    #: Owning subsystem.
+    owner: str
+    description: str
+
+
+TRACE_EVENTS: Tuple[TraceEventSpec, ...] = (
+    # -- fault injection -----------------------------------------------------
+    TraceEventSpec("fault-apply", ("fault", "target"), "faults", "fault episode applied to a target"),
+    TraceEventSpec("fault-revert", ("fault", "target"), "faults", "fault episode reverted"),
+    TraceEventSpec("fault-truncated", ("fault", "target"), "faults", "episode cut short by end of run"),
+    # -- message transport ---------------------------------------------------
+    TraceEventSpec("msg-drop-down", ("dst",), "simnet", "message dropped: destination down"),
+    TraceEventSpec("msg-recv", ("src", "dst", "payload_kind", "latency"), "simnet", "message delivered"),
+    TraceEventSpec("msg-send", ("src", "dst", "payload_kind", "lost"), "simnet", "message handed to the wire"),
+    TraceEventSpec("transfer-done", ("src", "dst", "size_bits", "attempts", "duration"), "simnet", "bulk transfer completed"),
+    TraceEventSpec("transfer-retry", ("src", "dst", "size_bits", "attempt"), "simnet", "bulk transfer attempt retried"),
+    # -- recovery stack ------------------------------------------------------
+    TraceEventSpec("broker-failover", ("leader", "latency_s"), "recovery", "standby promoted to leader"),
+    TraceEventSpec("petition-expired", ("peer", "filename"), "recovery", "queued petition gave up"),
+    TraceEventSpec("petition-queued", ("peer", "filename"), "recovery", "petition parked for supervision"),
+    TraceEventSpec("selection-degraded", ("model",), "recovery", "selection served from a stale snapshot"),
+    TraceEventSpec("transfer-interrupted", ("peer", "filename", "dst", "error"), "recovery", "transfer checkpointed on failure"),
+    TraceEventSpec("transfer-resume", ("peer", "filename", "skipped", "remaining"), "recovery", "transfer resumed from checkpoint"),
+    # -- swarming downloads --------------------------------------------------
+    TraceEventSpec("swarm-cancel", ("filename", "piece", "source"), "swarm", "endgame duplicate cancelled"),
+    TraceEventSpec("swarm-done", ("filename", "ok", "duplicates", "reassignments"), "swarm", "swarm download finished"),
+    TraceEventSpec("swarm-open", ("filename", "dst", "parts", "skipped", "k"), "swarm", "swarm download opened"),
+    TraceEventSpec("swarm-piece", ("filename", "piece", "source", "duplicate"), "swarm", "piece proven into the ledger"),
+    TraceEventSpec("swarm-reassign", ("filename", "source", "error", "dropped"), "swarm", "failed source replaced"),
+)
+
+#: name -> spec, the lookup table runtime checks use.
+TRACE_SCHEMA: Dict[str, TraceEventSpec] = {spec.name: spec for spec in TRACE_EVENTS}
+
+
+def trace_event_names() -> frozenset:
+    """The declared trace-event namespace."""
+    return frozenset(TRACE_SCHEMA)

@@ -74,6 +74,33 @@ class Baseline:
         live = {f.key for f in findings}
         return sorted(k for k in self.entries if k not in live)
 
+    def prune(self, findings: Iterable[Finding]) -> List[str]:
+        """Drop entries the current run no longer produces.
+
+        Returns the removed keys.  Call :meth:`save` afterwards to
+        persist the shrunk baseline (``--prune-baseline`` does both).
+        """
+        stale = self.expired(findings)
+        for key in stale:
+            del self.entries[key]
+        return stale
+
+    def save(self, path=None) -> Path:
+        """Persist the current entry set (post-:meth:`prune`)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("baseline has no path to save to")
+        entries = sorted(
+            ({"key": k, "message": m} for k, m in self.entries.items()),
+            key=lambda e: e["key"],
+        )
+        target.write_text(
+            json.dumps({"version": _VERSION, "entries": entries}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        return target
+
     @staticmethod
     def write(path, findings: Iterable[Finding]) -> Path:
         """Record ``findings`` as the new baseline at ``path``."""

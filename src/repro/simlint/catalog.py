@@ -1,0 +1,126 @@
+"""Declared-contract tables assembled from the project index.
+
+The metric catalog (:mod:`repro.obs.metric_catalog`) and trace schema
+(:mod:`repro.obs.trace_schema`) are checked-in *declarations* of the
+observability surface: every instrument name the system publishes and
+every trace event it emits, with required fields.  simlint does not
+import those modules — it reads the ``MetricSpec(...)`` /
+``TraceEventSpec(...)`` constructor literals straight out of the
+:class:`~repro.simlint.project.ProjectIndex`, so the contract check
+works on any tree (including test fixtures) without executing it.
+
+A tree with *no* declarations gets no SIM011/SIM012 findings: the
+rules activate only once a catalog exists, so adopting them is
+incremental and fixture trees in the CLI tests stay clean.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.simlint.project import ProjectIndex
+
+__all__ = [
+    "MetricCatalog",
+    "MetricEntry",
+    "TraceEventEntry",
+    "TraceSchema",
+    "did_you_mean",
+]
+
+
+@dataclass(frozen=True)
+class MetricEntry:
+    """One declared instrument: name, kind, declaration site."""
+
+    name: str
+    kind: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class TraceEventEntry:
+    """One declared trace event: name, required fields, site."""
+
+    name: str
+    required: Tuple[str, ...]
+    path: str
+    line: int
+
+
+class MetricCatalog:
+    """All ``MetricSpec`` declarations found in the indexed tree."""
+
+    def __init__(self, entries: Dict[str, MetricEntry], duplicates: List[MetricEntry]):
+        self.entries = entries
+        #: Re-declarations of an already-declared name (a catalog bug).
+        self.duplicates = duplicates
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_index(cls, index: ProjectIndex) -> "MetricCatalog":
+        entries: Dict[str, MetricEntry] = {}
+        duplicates: List[MetricEntry] = []
+        for path, fi in index.files.items():
+            for decl in fi.catalog_metrics:
+                entry = MetricEntry(
+                    name=decl["name"],
+                    kind=decl["kind"],
+                    path=path,
+                    line=decl["line"],
+                )
+                if entry.name in entries:
+                    duplicates.append(entry)
+                else:
+                    entries[entry.name] = entry
+        return cls(entries, duplicates)
+
+
+class TraceSchema:
+    """All ``TraceEventSpec`` declarations found in the indexed tree."""
+
+    def __init__(
+        self,
+        events: Dict[str, TraceEventEntry],
+        duplicates: List[TraceEventEntry],
+    ):
+        self.events = events
+        self.duplicates = duplicates
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def from_index(cls, index: ProjectIndex) -> "TraceSchema":
+        events: Dict[str, TraceEventEntry] = {}
+        duplicates: List[TraceEventEntry] = []
+        for path, fi in index.files.items():
+            for decl in fi.catalog_traces:
+                entry = TraceEventEntry(
+                    name=decl["name"],
+                    required=tuple(decl["required"]),
+                    path=path,
+                    line=decl["line"],
+                )
+                if entry.name in events:
+                    duplicates.append(entry)
+                else:
+                    events[entry.name] = entry
+        return cls(events, duplicates)
+
+
+def did_you_mean(name: str, known: Iterable[str]) -> Optional[str]:
+    """Closest declared name, for near-miss typo reporting."""
+    matches = difflib.get_close_matches(name, sorted(known), n=1, cutoff=0.75)
+    return matches[0] if matches else None

@@ -45,4 +45,19 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "end_line": self.end_line,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (the simlint cache round-trips
+        findings through JSON; a dropped field here silently shrinks
+        suppression spans on replay — SIM014's bug class)."""
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            end_line=data.get("end_line", 0),
+        )

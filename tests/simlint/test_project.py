@@ -1,0 +1,317 @@
+"""ProjectIndex machinery: extraction, import graph, cache, parallelism."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.simlint.findings import Finding
+from repro.simlint.project import (
+    CACHE_DIR_NAME,
+    ProjectIndex,
+    build_project_index,
+    index_source,
+)
+
+
+def write_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+class TestModuleNaming:
+    def test_src_prefix_stripped(self):
+        idx = index_source("x = 1\n", "src/repro/obs/metrics.py")
+        assert idx.module == "repro.obs.metrics"
+
+    def test_package_init_maps_to_package(self):
+        idx = index_source("x = 1\n", "src/repro/obs/__init__.py")
+        assert idx.module == "repro.obs"
+
+    def test_tests_keep_their_prefix(self):
+        idx = index_source("x = 1\n", "tests/simlint/test_cli.py")
+        assert idx.module == "tests.simlint.test_cli"
+
+
+class TestImportGraph:
+    FIXTURE = {
+        "src/pkg/__init__.py": "",
+        "src/pkg/core.py": "VALUE = 1\n",
+        "src/pkg/mid.py": "from pkg.core import VALUE\n",
+        "src/pkg/top.py": "import pkg.mid\nfrom pkg import core\n",
+        "src/pkg/loner.py": "import json\n",
+    }
+
+    def test_graph_edges_resolve_from_imports_and_aliases(self, tmp_path):
+        root = write_tree(tmp_path, self.FIXTURE)
+        index, _, _ = build_project_index(["src"], root=root)
+        graph = index.import_graph()
+        assert graph["pkg.mid"] == ["pkg.core"]
+        assert graph["pkg.top"] == ["pkg.core", "pkg.mid"]
+        # Stdlib imports never create project edges.
+        assert graph["pkg.loner"] == []
+
+    def test_longest_prefix_resolution(self, tmp_path):
+        root = write_tree(tmp_path, self.FIXTURE)
+        index, _, _ = build_project_index(["src"], root=root)
+        # A from-import target (module.attr) resolves to the module.
+        assert index.resolve_module("pkg.core.VALUE") == "src/pkg/core.py"
+        assert index.resolve_module("other.module") is None
+
+
+class TestRngExtraction:
+    def test_literal_seed_classified(self):
+        idx = index_source(
+            "import random\nr = random.Random(42)\n", "src/repro/x.py"
+        )
+        (site,) = idx.rng_sites
+        assert site["seed"] == "literal"
+
+    def test_aliased_constructor_tracked(self):
+        # The aliasing requirement: R = random.Random; R(42).
+        idx = index_source(
+            "import random\nR = random.Random\nr = R(1234)\n",
+            "src/repro/x.py",
+        )
+        (site,) = idx.rng_sites
+        assert site["ctor"] == "random.Random"
+        assert site["seed"] == "literal"
+
+    def test_from_import_alias_tracked(self):
+        idx = index_source(
+            "from random import Random as Rng\nr = Rng(7)\n",
+            "src/repro/x.py",
+        )
+        (site,) = idx.rng_sites
+        assert site["seed"] == "literal"
+
+    def test_literal_through_local_variable(self):
+        idx = index_source(
+            "import random\nseed = 99\nr = random.Random(seed)\n",
+            "src/repro/x.py",
+        )
+        (site,) = idx.rng_sites
+        assert site["seed"] == "literal"
+
+    def test_wall_clock_seed_classified(self):
+        idx = index_source(
+            "import random, time\nr = random.Random(time.time())\n",
+            "src/repro/x.py",
+        )
+        (site,) = idx.rng_sites
+        assert site["seed"] == "wallclock"
+
+    def test_unseeded_is_entropy(self):
+        idx = index_source(
+            "import random\nr = random.Random()\n", "src/repro/x.py"
+        )
+        (site,) = idx.rng_sites
+        assert site["seed"] == "entropy"
+
+    def test_derived_seed_is_clean(self):
+        idx = index_source(
+            "import random\n"
+            "def make(streams):\n"
+            "    return random.Random(streams.get('x').getrandbits(64))\n",
+            "src/repro/x.py",
+        )
+        (site,) = idx.rng_sites
+        assert site["seed"] == "derived"
+
+
+class TestLiteralExtraction:
+    def test_metric_sites(self):
+        idx = index_source(
+            "class C:\n"
+            "    def __init__(self, registry):\n"
+            "        self.ok = registry.counter('x.ok')\n"
+            "        self.depth = registry.gauge('x.depth')\n"
+            "        self.lat = registry.histogram('x.lat_s', (0.1, 1.0))\n",
+            "src/repro/x.py",
+        )
+        assert [(s["name"], s["kind"]) for s in idx.metric_sites] == [
+            ("x.ok", "counter"),
+            ("x.depth", "gauge"),
+            ("x.lat_s", "histogram"),
+        ]
+
+    def test_trace_sites_require_tracer_receiver(self):
+        idx = index_source(
+            "def f(tracer, registry, now):\n"
+            "    tracer.record('ev-one', now, peer='a', size=3)\n"
+            "    registry.record('not-a-trace', now)\n",
+            "src/repro/x.py",
+        )
+        (site,) = idx.trace_sites
+        assert site["event"] == "ev-one"
+        assert site["fields"] == ["peer", "size"]
+        assert site["star"] is False
+
+    def test_trace_star_kwargs_marked(self):
+        idx = index_source(
+            "def f(tracer, now, **attrs):\n"
+            "    tracer.record('ev', now, model='m', **attrs)\n",
+            "src/repro/x.py",
+        )
+        (site,) = idx.trace_sites
+        assert site["star"] is True
+
+    def test_catalog_declarations(self):
+        idx = index_source(
+            "from repro.obs.metric_catalog import MetricSpec\n"
+            "from repro.obs.trace_schema import TraceEventSpec\n"
+            "METRICS = (MetricSpec('a.b', 'counter', 'x', 'd'),)\n"
+            "EVENTS = (TraceEventSpec('ev', ('f1', 'f2'), 'x', 'd'),)\n",
+            "src/repro/obs/metric_catalog.py",
+        )
+        assert idx.catalog_metrics == [
+            {"name": "a.b", "kind": "counter", "line": 3}
+        ]
+        assert idx.catalog_traces == [
+            {"name": "ev", "required": ["f1", "f2"], "line": 4}
+        ]
+
+
+class TestProcessGenerators:
+    def test_seeded_by_process_call_and_yield_from(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/app/helpers.py": (
+                    "def sub_steps(sim):\n"
+                    "    yield 1.0\n"
+                ),
+                "src/app/main.py": (
+                    "from app.helpers import sub_steps\n"
+                    "def driver(sim):\n"
+                    "    yield from sub_steps(sim)\n"
+                    "def boot(sim):\n"
+                    "    sim.process(driver(sim))\n"
+                ),
+            },
+        )
+        index, _, _ = build_project_index(["src"], root=root)
+        procs = index.process_generators()
+        assert ("src/app/main.py", "driver") in procs
+        # Membership propagates through yield-from delegation.
+        assert ("src/app/helpers.py", "sub_steps") in procs
+
+    def test_self_evidencing_generator(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/app/p.py": (
+                    "def worker(sim):\n"
+                    "    yield sim.timeout(1.0)\n"
+                ),
+            },
+        )
+        index, _, _ = build_project_index(["src"], root=root)
+        assert ("src/app/p.py", "worker") in index.process_generators()
+
+    def test_plain_iterator_generator_not_a_process(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/app/w.py": (
+                    "def workload():\n"
+                    "    yield ('file.bin', 3)\n"
+                ),
+            },
+        )
+        index, _, _ = build_project_index(["src"], root=root)
+        assert index.process_generators() == set()
+
+
+class TestCache:
+    TREE = {
+        "src/a.py": "A = 1\n",
+        "src/b.py": "import time\nT = time.time()\n",
+    }
+
+    def test_second_run_hits(self, tmp_path):
+        root = write_tree(tmp_path, self.TREE)
+        cache = root / CACHE_DIR_NAME
+        _, cold, _ = build_project_index(["src"], root=root, cache_dir=cache)
+        assert cold.cache_hits == 0 and cold.cache_misses == 2
+        _, warm, _ = build_project_index(["src"], root=root, cache_dir=cache)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.hit_rate == 1.0
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        root = write_tree(tmp_path, self.TREE)
+        cache = root / CACHE_DIR_NAME
+        build_project_index(["src"], root=root, cache_dir=cache)
+        (root / "src/a.py").write_text("A = 2\n")
+        _, stats, _ = build_project_index(["src"], root=root, cache_dir=cache)
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert stats.changed == ["src/a.py"]
+
+    def test_cached_findings_replayed_identically(self, tmp_path):
+        root = write_tree(tmp_path, self.TREE)
+        cache = root / CACHE_DIR_NAME
+        _, _, cold = build_project_index(["src"], root=root, cache_dir=cache)
+        _, _, warm = build_project_index(["src"], root=root, cache_dir=cache)
+        assert {p: r.findings for p, r in warm.items()} == {
+            p: r.findings for p, r in cold.items()
+        }
+        # end_line survives the JSON round trip (the SIM014 bug class).
+        (finding,) = warm["src/b.py"].findings
+        assert finding.end_line == 2
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        root = write_tree(tmp_path, self.TREE)
+        cache = root / CACHE_DIR_NAME
+        build_project_index(["src"], root=root, cache_dir=cache)
+        for entry in cache.glob("*.json"):
+            entry.write_text("{not json")
+        _, stats, _ = build_project_index(["src"], root=root, cache_dir=cache)
+        assert stats.cache_misses == 2
+
+
+class TestParallelEquality:
+    def test_pmap_and_serial_indexes_match(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                f"src/m{i}.py": (
+                    "import random\n"
+                    f"def gen_{i}(sim):\n"
+                    "    yield sim.timeout(1.0)\n"
+                    f"r = random.Random({i})\n"
+                )
+                for i in range(6)
+            },
+        )
+        serial, _, serial_res = build_project_index(
+            ["src"], root=root, workers=1
+        )
+        parallel, _, parallel_res = build_project_index(
+            ["src"], root=root, workers=4
+        )
+        assert {p: fi.to_dict() for p, fi in serial.files.items()} == {
+            p: fi.to_dict() for p, fi in parallel.files.items()
+        }
+        assert {p: r.findings for p, r in serial_res.items()} == {
+            p: r.findings for p, r in parallel_res.items()
+        }
+
+
+class TestSuppressionBridge:
+    def test_project_index_honours_inline_suppressions(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/x.py": (
+                    "import random\n"
+                    "r = random.Random(42)  # simlint: disable=SIM010 -- fixture\n"
+                )
+            },
+        )
+        index, _, _ = build_project_index(["src"], root=root)
+        finding = index.finding("SIM010", "src/x.py", 2, "seeded literal")
+        assert index.is_suppressed(finding)
+        other = index.finding("SIM011", "src/x.py", 2, "other rule")
+        assert not index.is_suppressed(other)
