@@ -69,6 +69,11 @@ ARTIFACTS: Dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
         "future work: 100/500/1000 synthetic peers (slow; not in default set)",
         _needs_config(scale.run_large),
     ),
+    "scale-federated": (
+        "gossip federation: control-plane cost + broker-kill degradation "
+        "(REPRO_FED_SMOKE=1 for the CI cell)",
+        _needs_config(scale.run_federated),
+    ),
     "churn": ("extension: selection under peer churn", _needs_config(churn.run)),
     "resilience": (
         "extension: selection policies x fault profiles (see --faults)",
@@ -81,7 +86,7 @@ ARTIFACTS: Dict[str, tuple[str, Callable[[ExperimentConfig], str]]] = {
 }
 
 #: Artifacts too expensive for the default run-everything invocation.
-_OPT_IN = frozenset({"scale-large", "resilience", "swarming"})
+_OPT_IN = frozenset({"scale-large", "scale-federated", "resilience", "swarming"})
 
 
 def main(argv=None) -> int:
@@ -116,6 +121,12 @@ def main(argv=None) -> int:
         help="run self-healing: transfer checkpoint/resume, standby "
              "broker failover and degraded-mode selection "
              "(repro.recovery defaults)",
+    )
+    parser.add_argument(
+        "--federated", action="store_true",
+        help="run on the gossip-federated control plane: 3 sharded "
+             "brokers with SWIM liveness instead of one keepalive "
+             "broker (repro.gossip defaults)",
     )
     parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
@@ -165,6 +176,14 @@ def main(argv=None) -> int:
         from repro.recovery.config import RecoveryConfig
 
         config = dataclasses.replace(config, recovery=RecoveryConfig())
+    if args.federated:
+        import dataclasses
+
+        from repro.gossip.config import GossipConfig
+
+        config = dataclasses.replace(
+            config, gossip=GossipConfig(), federation_brokers=3
+        )
     if args.parallel is not None:
         from repro.perf.parallel import set_default_workers
 

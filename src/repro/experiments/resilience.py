@@ -223,13 +223,32 @@ def _make_policy(policy: str, session: Session):
 
 def _candidates(policy: str, session: Session):
     # The acting leader governs: after a broker failover the standby's
-    # replicated registry answers candidate queries.
-    governor = session.leader_broker
-    if policy == "blind":
-        # Blind: every registered peer, no liveness information.
-        return governor.candidates(online_only=False, liveness_timeout_s=None)
-    # Informed: the broker's configured liveness window applies.
-    return governor.candidates()
+    # replicated registry answers candidate queries.  Under a gossip
+    # federation the registry is sharded, so the selection view is the
+    # union over the live federation brokers (map order, deduplicated)
+    # — the in-process equivalent of a cross-shard candidate fan-out.
+    if session.federation is not None:
+        governors = [
+            b for b in session.federation.brokers.values() if b.host.is_up
+        ]
+    else:
+        governors = [session.leader_broker]
+    merged = []
+    seen = set()
+    for governor in governors:
+        if policy == "blind":
+            # Blind: every registered peer, no liveness information.
+            records = governor.candidates(
+                online_only=False, liveness_timeout_s=None
+            )
+        else:
+            # Informed: the broker's configured liveness window applies.
+            records = governor.candidates()
+        for rec in records:
+            if rec.peer_id not in seen:
+                seen.add(rec.peer_id)
+                merged.append(rec)
+    return merged
 
 
 def _workload() -> Workload:

@@ -17,15 +17,27 @@ keeps finding the good ones.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+import os
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.stats import Summary
-from repro.errors import TransferAborted
+from repro.errors import (
+    HostDownError,
+    NotConnectedError,
+    TransferAborted,
+)
 from repro.experiments.report import render_table
 from repro.experiments.runner import average_rows, run_repetitions
 from repro.experiments.scenario import ExperimentConfig, Session
+from repro.faults.injectors import NodeCrash
+from repro.faults.plan import FaultPlan
+from repro.gossip.config import GossipConfig
+from repro.overlay.advertisements import ResourceAdvertisement
 from repro.overlay.client import SimpleClient
+from repro.overlay.peer import PeerConfig, RequestTimeout
 from repro.selection.base import SelectionContext, Workload
 from repro.selection.blind import RoundRobinSelector
 from repro.selection.evaluator import DataEvaluatorSelector
@@ -41,10 +53,13 @@ from repro.workloads.generator import WorkloadGenerator
 
 __all__ = [
     "ScaleResult",
+    "FederatedResult",
     "run",
     "run_large",
+    "run_federated",
     "POOL_SIZES",
     "LARGE_POOL_SIZES",
+    "FEDERATED_POOLS",
     "MODELS",
 ]
 
@@ -316,3 +331,443 @@ def run_large(
         )
         summaries.update(average_rows(rows))
     return ScaleResult(summaries=summaries, pools=pools)
+
+
+# -- federated control plane (ROADMAP: 10k+ peers) ---------------------------
+
+#: Federated cell sizes (total peers incl. the 8 session SCs).
+FEDERATED_POOLS: Tuple[int, ...] = (2000, 10000)
+#: Single-broker keepalive baseline the federation is compared against.
+FED_BASELINE_POOL = 1000
+#: Brokers in the federated cells.
+FED_BROKERS = 3
+#: Control-plane observation window (sim-seconds after join settles).
+FED_OBSERVATION_S = 600.0
+#: Discovery probes sampled per cell (success rate + latency).
+FED_DISCOVERY_SAMPLES = 40
+#: Petition transfers per goodput window.
+FED_GOODPUT_TRANSFERS = 24
+FED_GOODPUT_BITS = mbit(5)
+#: Post-kill settle time before degradation is measured: SWIM detection
+#: (probe + suspect timeout) plus rumor spread and the rehome walks
+#: (including one retry backoff for walks that hit busy survivors).
+FED_KILL_SETTLE_S = 600.0
+#: Concurrent federated joins per wave during cell bring-up.
+FED_JOIN_WAVE = 64
+#: Environment switch: CI smoke sizing (2 shards, 200 peers).
+_FED_SMOKE_ENV = "REPRO_FED_SMOKE"
+
+
+def _fed_smoke() -> bool:
+    return bool(os.environ.get(_FED_SMOKE_ENV))
+
+
+@dataclass(frozen=True)
+class FederatedResult:
+    """Control-plane cost and degradation per federated cell.
+
+    Cell keys are ``baseline/<n>``, ``federated/<n>`` and
+    ``killbroker/<n>``; metrics are averaged over repetitions.
+    """
+
+    cells: Tuple[str, ...]
+    summaries: Mapping[str, Summary]  # keys "<cell>/<metric>"
+
+    def value(self, cell: str, metric: str) -> float:
+        """Mean of one cell metric (NaN when the cell lacks it)."""
+        summary = self.summaries.get(f"{cell}/{metric}")
+        return summary.mean if summary is not None else float("nan")
+
+    def messages_per_peer(self, cell: str) -> float:
+        """Broker control messages per peer per 100 sim-seconds."""
+        return self.value(cell, "broker_msgs_per_peer_100s")
+
+    def discovery_success(self, cell: str) -> float:
+        """Fraction of sampled discovery queries that resolved."""
+        return self.value(cell, "discovery_success")
+
+    def goodput_retention(self, cell: str) -> float:
+        """Post-kill goodput over pre-kill goodput (NaN outside the
+        broker-kill cell)."""
+        return self.value(cell, "goodput_retention")
+
+    def sublinearity(self) -> float:
+        """Largest federated msgs/peer over the baseline msgs/peer —
+        < 1 means the federation's per-peer broker load is sublinear
+        in the population (the acceptance bound)."""
+        base = min(
+            (
+                self.messages_per_peer(c)
+                for c in self.cells
+                if c.startswith("baseline/")
+            ),
+            default=float("nan"),
+        )
+        fed = max(
+            (
+                self.messages_per_peer(c)
+                for c in self.cells
+                if c.startswith("federated/")
+            ),
+            default=float("nan"),
+        )
+        return fed / base
+
+    def table(self) -> str:
+        """The federated study as a text table."""
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                (
+                    cell,
+                    self.value(cell, "peers"),
+                    self.value(cell, "brokers"),
+                    self.messages_per_peer(cell),
+                    self.value(cell, "peer_msgs_per_peer_100s"),
+                    self.discovery_success(cell),
+                    self.value(cell, "discovery_p50_s"),
+                    self.value(cell, "discovery_p95_s"),
+                    self.value(cell, "false_suspect_rate"),
+                    self.value(cell, "rehome_rate"),
+                    self.goodput_retention(cell),
+                )
+            )
+        return render_table(
+            (
+                "cell", "peers", "brokers", "broker msg/peer/100s",
+                "peer msg/peer/100s", "disc ok", "disc p50 (s)",
+                "disc p95 (s)", "false susp", "rehomed", "goodput ret",
+            ),
+            rows,
+            title="Federated control plane — cost and degradation per cell",
+        )
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of a sample list (NaN when empty)."""
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+def _fed_bringup(session: Session, pool: int):
+    """Generator: bring the cell to ``pool`` connected peers.
+
+    Returns ``{name: peer}`` over session SCs plus synthetic slivers.
+    Joins run :data:`FED_JOIN_WAVE` at a time; in federated mode the
+    new peers are enrolled first and gossip graphs are (re)built once
+    every join has landed.
+    """
+    sim = session.sim
+    fed = session.federation
+    peers: Dict[str, SimpleClient] = dict(session.clients)
+    config = session.config.peer_config or PeerConfig()
+    if fed is not None:
+        config = dataclasses.replace(
+            config, keepalive_enabled=False, stat_reports_enabled=False
+        )
+    fresh: List[SimpleClient] = []
+    for hostname in synthetic_hostnames(max(0, pool - len(peers))):
+        peer = SimpleClient(
+            session.network, hostname, session.ids, name=hostname,
+            config=config,
+        )
+        peers[peer.name] = peer
+        fresh.append(peer)
+        if fed is not None:
+            fed.enroll(peer)
+    pending = []
+    for peer in fresh:
+        if fed is not None:
+            pending.append(sim.process(
+                peer.join_federated(fed.shard_map, fed.broker_advs())
+            ))
+        else:
+            pending.append(sim.process(
+                peer.connect(session.broker.advertisement())
+            ))
+        if len(pending) >= FED_JOIN_WAVE:
+            for proc in pending:
+                yield proc
+            pending = []
+    for proc in pending:
+        yield proc
+    if fed is not None:
+        fed.start_gossip()
+    return peers
+
+
+def _fed_goodput(session: Session, peers, order: List[str], n: int, bits: int):
+    """Generator: one petition-goodput window.
+
+    Places ``n`` small transfers from each sampled peer's *home*
+    broker (the control point that admitted it) and returns delivered
+    Mb per sim-second.  A home mid-outage fails that placement — which
+    is exactly the degradation the killbroker cell measures.
+    """
+    sim = session.sim
+    fed = session.federation
+    started = sim.now
+    delivered_bits = 0.0
+    for i in range(n):
+        peer = peers[order[i % len(order)]]
+        broker = session.broker
+        if fed is not None and peer.broker_adv is not None:
+            broker = fed.brokers.get(peer.broker_adv.hostname, broker)
+        try:
+            yield sim.process(
+                broker.transfers.send_file(
+                    peer.advertisement(),
+                    f"fedgood-{started:.0f}-{i}",
+                    bits,
+                    n_parts=1,
+                )
+            )
+            delivered_bits += bits
+        except (TransferAborted, HostDownError, RequestTimeout,
+                NotConnectedError):
+            pass
+    elapsed = max(sim.now - started, 1e-9)
+    return to_mbit(delivered_bits) / elapsed
+
+
+def _fed_discovery(session: Session, peers, queriers, targets):
+    """Generator: sampled cross-shard discovery probes.
+
+    Every target has published a resource to its home shard; each
+    querier resolves one by name through its own home broker (local
+    shard first, federated fan-out on miss).  Returns
+    ``(success_rate, latencies)``.
+    """
+    sim = session.sim
+    ok = 0
+    latencies: List[float] = []
+    for qname, tname in zip(queriers, targets):
+        querier = peers[qname]
+        started = sim.now
+        try:
+            advs = yield sim.process(
+                querier.discovery.query(
+                    "resource", attrs={"name": f"shared-{tname}"}
+                )
+            )
+        except (RequestTimeout, NotConnectedError, HostDownError):
+            continue
+        if advs:
+            ok += 1
+            latencies.append(sim.now - started)
+    rate = ok / len(queriers) if queriers else float("nan")
+    return rate, latencies
+
+
+def _fed_sample(session: Session, names: List[str], k: int):
+    """``k`` seeded (querier, target) pairs over the peer names."""
+    rng = session.streams.get("scale/fed-discovery")
+    queriers: List[str] = []
+    targets: List[str] = []
+    for _ in range(k):
+        qi = int(rng.integers(0, len(names)))
+        ti = int(rng.integers(0, len(names)))
+        if ti == qi:
+            ti = (ti + 1) % len(names)
+        queriers.append(names[qi])
+        targets.append(names[ti])
+    return queriers, targets
+
+
+def _control_snapshot(session: Session, peers) -> Tuple[int, int]:
+    """(broker, edge-peer) control-message totals right now."""
+    broker_total = sum(b.control_messages for b in session.brokers)
+    peer_total = sum(p.control_messages for p in peers.values())
+    return broker_total, peer_total
+
+
+def _federated_scenario(
+    session: Session,
+    pool: int,
+    kill_broker: bool,
+    observation_s: float,
+    n_discovery: int,
+    n_goodput: int,
+    settle_s: float,
+):
+    """One repetition of one federated-study cell.
+
+    Timeline: bring-up → control-message snapshot → pre goodput window
+    → (optionally kill one broker and let gossip converge) → sampled
+    discovery probes → post goodput window (kill cell) → final
+    snapshot.  Module-level so :func:`functools.partial` keeps the
+    sweep picklable for the parallel path.
+    """
+    sim = session.sim
+    fed = session.federation
+    peers = yield sim.process(_fed_bringup(session, pool))
+    names = list(peers)
+    queriers, targets = _fed_sample(session, names, n_discovery)
+    # Targets publish ahead of the window so every probe is resolvable.
+    for tname in dict.fromkeys(targets):
+        peer = peers[tname]
+        peer.discovery.publish(ResourceAdvertisement(
+            published_at=sim.now,
+            peer_id=peer.peer_id,
+            kind="file",
+            name=f"shared-{tname}",
+        ))
+    yield 5.0  # let the publishes land before measuring
+
+    broker0, peer0 = _control_snapshot(session, peers)
+    t0 = sim.now
+    goodput_order = list(queriers)
+    goodput_before = yield sim.process(
+        _fed_goodput(session, peers, goodput_order, n_goodput,
+                     FED_GOODPUT_BITS)
+    )
+
+    victims = 0.0
+    if kill_broker:
+        victim = session.brokers[1]
+        victims = float(sum(
+            1 for p in peers.values()
+            if p.broker_adv is not None
+            and p.broker_adv.hostname == victim.host.hostname
+        ))
+        FaultPlan(
+            name="fed-kill-broker",
+            schedule=((0.0, NodeCrash(target=victim.host.hostname)),),
+        ).install(session, base=sim.now)
+        yield settle_s
+
+    remaining = observation_s - (sim.now - t0)
+    if remaining > 0:
+        yield remaining
+
+    disc_rate, latencies = yield sim.process(
+        _fed_discovery(session, peers, queriers, targets)
+    )
+    goodput_after = float("nan")
+    if kill_broker:
+        goodput_after = yield sim.process(
+            _fed_goodput(session, peers, goodput_order, n_goodput,
+                         FED_GOODPUT_BITS)
+        )
+
+    broker1, peer1 = _control_snapshot(session, peers)
+    elapsed = max(sim.now - t0, 1e-9)
+    per_100s = 100.0 / elapsed
+
+    suspects = 0
+    false_suspects = 0
+    if fed is not None:
+        agents = list(fed.agents.values()) + [
+            b.gossip for b in fed.brokers.values() if b.gossip is not None
+        ]
+        suspects = sum(a.suspect_events for a in agents)
+        false_suspects = sum(a.false_suspect_events for a in agents)
+
+    rehomed = float("nan")
+    if kill_broker and fed is not None:
+        dead_host = session.brokers[1].host.hostname
+        live_homes = sum(
+            1 for p in peers.values()
+            if p.online
+            and p.broker_adv is not None
+            and p.broker_adv.hostname != dead_host
+        )
+        rehomed = live_homes / len(peers)
+
+    metrics: Dict[str, float] = {
+        "peers": float(len(peers)),
+        "brokers": float(len(session.brokers)),
+        "victims": victims,
+        "broker_msgs": float(broker1 - broker0),
+        "broker_msgs_per_peer_100s": (
+            (broker1 - broker0) / len(peers) * per_100s
+        ),
+        "peer_msgs_per_peer_100s": (
+            (peer1 - peer0) / len(peers) * per_100s
+        ),
+        "discovery_success": disc_rate,
+        "discovery_p50_s": _percentile(latencies, 0.50),
+        "discovery_p95_s": _percentile(latencies, 0.95),
+        "false_suspect_rate": (
+            false_suspects / suspects if suspects else 0.0
+        ),
+        "rehome_rate": rehomed,
+        "goodput_before": goodput_before,
+        "goodput_after": goodput_after,
+        "goodput_retention": (
+            goodput_after / goodput_before
+            if kill_broker and goodput_before > 0
+            else float("nan")
+        ),
+    }
+    return metrics
+
+
+def run_federated(
+    config: ExperimentConfig = ExperimentConfig(),
+    pools: Optional[Tuple[int, ...]] = None,
+    baseline_pool: Optional[int] = None,
+    brokers: Optional[int] = None,
+) -> FederatedResult:
+    """Run the gossip-federated control-plane study.
+
+    Cells: a single-broker keepalive **baseline** at ``baseline_pool``
+    peers, a gossip **federated** cell per entry of ``pools``, and one
+    **killbroker** degradation cell (smallest federated pool, one of
+    the ``brokers`` brokers crashed mid-run).  ``REPRO_FED_SMOKE=1``
+    shrinks the study to a seeded 2-shard 200-peer cell for CI.
+
+    Cells reuse the repetition sweep, so ``--parallel`` fans them out
+    bit-identically to the serial path.
+    """
+    smoke = _fed_smoke()
+    if pools is None:
+        pools = (200,) if smoke else FEDERATED_POOLS
+    if baseline_pool is None:
+        baseline_pool = 100 if smoke else FED_BASELINE_POOL
+    if brokers is None:
+        brokers = 2 if smoke else FED_BROKERS
+    observation_s = 300.0 if smoke else FED_OBSERVATION_S
+    n_discovery = 20 if smoke else FED_DISCOVERY_SAMPLES
+    n_goodput = 10 if smoke else FED_GOODPUT_TRANSFERS
+    gossip = config.gossip if config.gossip is not None else GossipConfig()
+
+    cells: List[Tuple[str, ExperimentConfig, functools.partial]] = []
+
+    def add_cell(label: str, pool: int, n_brokers: int, kill: bool) -> None:
+        cell_config = replace(
+            config,
+            synthetic_nodes=max(0, pool - len(SIMPLECLIENTS)),
+            gossip=gossip if n_brokers > 1 else None,
+            federation_brokers=n_brokers,
+        )
+        scenario = functools.partial(
+            _federated_scenario,
+            pool=pool,
+            kill_broker=kill,
+            observation_s=observation_s,
+            n_discovery=n_discovery,
+            n_goodput=n_goodput,
+            settle_s=FED_KILL_SETTLE_S,
+        )
+        cells.append((f"{label}/{pool}", cell_config, scenario))
+
+    add_cell("baseline", baseline_pool, 1, kill=False)
+    for pool in pools:
+        add_cell("federated", pool, brokers, kill=False)
+    add_cell("killbroker", min(pools), brokers, kill=True)
+
+    summaries: Dict[str, Summary] = {}
+    for cell, cell_config, scenario in cells:
+        rows: List[Mapping[str, float]] = run_repetitions(
+            cell_config, scenario
+        )
+        for key, summary in average_rows(rows).items():
+            summaries[f"{cell}/{key}"] = summary
+    return FederatedResult(
+        cells=tuple(cell for cell, _cfg, _fn in cells),
+        summaries=summaries,
+    )

@@ -15,6 +15,8 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, FaultRuntime
+from repro.gossip.config import GossipConfig
+from repro.gossip.federation import Federation
 from repro.obs.runtime import active_registry
 from repro.obs.trace import EventTrace
 from repro.overlay.broker import Broker
@@ -70,8 +72,22 @@ class ExperimentConfig:
     #: Multi-source swarming knobs (choke slots, endgame duplication,
     #: re-assignment); None = the swarming experiment uses defaults.
     swarm: Optional[SwarmConfig] = None
+    #: Gossip control plane (SWIM liveness + sharded federation); None
+    #: = the legacy per-client keepalive control plane.
+    gossip: Optional["GossipConfig"] = None
+    #: Brokers in the federation (1 = the single nozomi head broker;
+    #: > 1 provisions extra broker nodes and shards the registry —
+    #: requires ``gossip``).
+    federation_brokers: int = 1
 
     def __post_init__(self) -> None:
+        if self.federation_brokers < 1:
+            raise ConfigError("federation_brokers must be >= 1")
+        if self.federation_brokers > 1 and self.gossip is None:
+            raise ConfigError(
+                "federation_brokers > 1 requires a gossip config "
+                "(the sharded registry is gossip-governed)"
+            )
         if self.repetitions < 1:
             raise ConfigError("repetitions must be >= 1")
         if self.synthetic_nodes < 0:
@@ -105,7 +121,10 @@ class ExperimentConfig:
             "trace_policy": self.trace_policy,
             "flow_tick": self.flow_tick,
             "liveness_timeout_s": self.liveness_timeout_s,
+            "federation_brokers": self.federation_brokers,
         }
+        if self.gossip is not None:
+            out["gossip"] = self.gossip.to_dict()
         if self.peer_config is not None:
             out["peer_config"] = dataclasses.asdict(self.peer_config)
         if self.fault_plan is not None:
@@ -124,6 +143,7 @@ class ExperimentConfig:
         fault_plan = data.pop("fault_plan", None)
         recovery = data.pop("recovery", None)
         swarm = data.pop("swarm", None)
+        gossip = data.pop("gossip", None)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -136,6 +156,8 @@ class ExperimentConfig:
             data["recovery"] = RecoveryConfig.from_dict(recovery)
         if swarm is not None:
             data["swarm"] = SwarmConfig.from_dict(swarm)
+        if gossip is not None:
+            data["gossip"] = GossipConfig.from_dict(gossip)
         return cls(**data)
 
     def save(self, path) -> None:
@@ -165,6 +187,7 @@ class Session:
             include_full_slice=config.include_full_slice,
             synthetic_nodes=config.synthetic_nodes,
             with_standby=with_standby,
+            federation_brokers=config.federation_brokers,
         )
         #: The process-wide registry active at construction time — the
         #: shared no-op unless an experiment driver installed one.
@@ -197,6 +220,26 @@ class Session:
             config=config.peer_config,
             liveness_timeout_s=config.liveness_timeout_s,
         )
+        #: All federation brokers, head first (just the head outside
+        #: federated deployments).
+        self.brokers: list[Broker] = [self.broker]
+        for i, hostname in enumerate(self.testbed.federation[1:], start=2):
+            self.brokers.append(
+                Broker(
+                    self.network,
+                    hostname,
+                    ids,
+                    name=f"broker{i}",
+                    config=config.peer_config,
+                    liveness_timeout_s=config.liveness_timeout_s,
+                )
+            )
+        #: Gossip federation (None under the legacy keepalive plane).
+        self.federation: Optional[Federation] = None
+        if config.gossip is not None:
+            self.federation = Federation(
+                self.network, self.brokers, config.gossip
+            )
         #: Standby broker + failover supervision (recovery runs only).
         self.standby: Optional[Broker] = None
         self.failover: Optional[FailoverDirector] = None
@@ -215,13 +258,22 @@ class Session:
         #: plan plus any a scenario installs itself); finalized —
         #: open episodes censored — when :meth:`run` returns.
         self.fault_runtimes: list[FaultRuntime] = []
+        client_config = config.peer_config
+        if config.gossip is not None:
+            # Gossip replaces the periodic beacons as liveness source:
+            # SWIM probes + event-driven notifies, not per-peer loops.
+            client_config = dataclasses.replace(
+                client_config if client_config is not None else PeerConfig(),
+                keepalive_enabled=False,
+                stat_reports_enabled=False,
+            )
         self.clients: Dict[str, SimpleClient] = {
             label: SimpleClient(
                 self.network,
                 self.testbed.sc_hostname(label),
                 ids,
                 name=label,
-                config=config.peer_config,
+                config=client_config,
             )
             for label in self.testbed.sc_labels()
         }
@@ -237,22 +289,56 @@ class Session:
         the primary, and every client arms the standby as its backup
         broker.
         """
-        badv = self.broker.advertisement()
-        for client in self.clients.values():
-            yield self.sim.process(client.connect(badv))
+        if self.federation is not None:
+            fed = self.federation
+            advs = fed.broker_advs()
+            for client in self.clients.values():
+                fed.enroll(client)
+            for client in self.clients.values():
+                yield self.sim.process(
+                    client.join_federated(fed.shard_map, advs)
+                )
+            fed.start_gossip()
+        else:
+            badv = self.broker.advertisement()
+            for client in self.clients.values():
+                yield self.sim.process(client.connect(badv))
         recovery = self.config.recovery
         if self.standby is not None and recovery is not None:
+            if self.federation is not None:
+                # The standby watches the primary through gossip too,
+                # so a partitioned-but-alive primary (still reachable
+                # on indirect SWIM paths) is not double-promoted.
+                from repro.gossip.swim import SwimAgent
+
+                agent = SwimAgent(
+                    self.standby,
+                    self.config.gossip,
+                    probe_interval_s=self.config.gossip.broker_probe_interval_s,
+                    track_unknown=True,
+                )
+                agent.track(self.broker.name, self.broker.host.hostname)
+                agent.probe_ring = [self.broker.name]
+                # Edge peers serve as ping-req proxies: when a partial
+                # partition cuts the standby's own probes, an indirect
+                # SWIM path through a client can still confirm the
+                # primary — that confirmation is what arms the veto.
+                for client in self.clients.values():
+                    agent.track(client.name, client.host.hostname)
+                self.standby.gossip = agent
+                agent.start()
             self.failover = FailoverDirector(
                 self.broker, self.standby, recovery
             )
             self.failover.start()
-            sadv = self.standby.advertisement()
-            for client in self.clients.values():
-                client.enable_failover(
-                    [sadv],
-                    check_interval_s=recovery.failover_check_interval_s,
-                    ping_timeout_s=recovery.failover_ping_timeout_s,
-                )
+            if self.federation is None:
+                sadv = self.standby.advertisement()
+                for client in self.clients.values():
+                    client.enable_failover(
+                        [sadv],
+                        check_interval_s=recovery.failover_check_interval_s,
+                        ping_timeout_s=recovery.failover_ping_timeout_s,
+                    )
         self._connected = True
 
     def run(self, process_fn: Callable[["Session"], object]):

@@ -1,0 +1,103 @@
+"""Gossip wire messages.
+
+All frozen dataclasses, delivered like every other overlay message as
+:class:`~repro.simnet.transport.Datagram` payloads (light messages —
+gossip traffic is small control traffic).  Members are identified by
+their unique *peer name*; every rumor also carries the hostname so any
+receiver can resolve the member's host without a directory round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "Rumor",
+    "GossipPing",
+    "GossipAck",
+    "GossipPingReq",
+    "GossipNotify",
+    "ShardMapUpdate",
+]
+
+#: Rumor status values, in override-precedence order for equal
+#: incarnations: a dead rumor beats suspect beats alive.
+RUMOR_STATUSES = ("alive", "suspect", "dead")
+
+
+@dataclass(frozen=True)
+class Rumor:
+    """One membership delta: ``member`` is ``status`` at ``incarnation``.
+
+    SWIM precedence: a rumor overrides local state when its incarnation
+    is higher, or equal with a stronger status (dead > suspect >
+    alive).  Only the member itself may raise its own incarnation —
+    that is what makes refutation authoritative.
+    """
+
+    member: str
+    hostname: str
+    status: str
+    incarnation: int
+
+
+@dataclass(frozen=True)
+class GossipPing:
+    """Direct liveness probe; expects a :class:`GossipAck`."""
+
+    sender: str
+    sender_hostname: str
+    nonce: int
+    rumors: Tuple[Rumor, ...] = ()
+
+
+@dataclass(frozen=True)
+class GossipAck:
+    """Probe answer (direct, or relayed by a ping-req proxy)."""
+
+    sender: str
+    nonce: int
+    rumors: Tuple[Rumor, ...] = ()
+
+
+@dataclass(frozen=True)
+class GossipPingReq:
+    """Indirect probe: asks a proxy to ping ``target`` on our behalf.
+
+    The proxy probes ``target_hostname`` itself and, on success, sends
+    the origin a :class:`GossipAck` carrying the origin's ``nonce``.
+    """
+
+    sender: str
+    sender_hostname: str
+    nonce: int
+    target: str
+    target_hostname: str
+    rumors: Tuple[Rumor, ...] = ()
+
+
+@dataclass(frozen=True)
+class GossipNotify:
+    """Event-driven rumor push (no ack expected).
+
+    Edge peers push fresh suspicion/death/refutation rumors to their
+    shard broker with this — the broker's registry learns liveness from
+    churn *events*, not from per-peer periodic beacons, which is what
+    makes the control-plane cost sublinear in the population.
+    Surviving brokers also use it to seed broker-death rumors into the
+    shards they own.
+    """
+
+    sender: str
+    rumors: Tuple[Rumor, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShardMapUpdate:
+    """Broker-to-broker dissemination of a recomputed shard map."""
+
+    sender: str
+    version: int
+    assignment: Tuple[Tuple[str, str], ...] = ()
+    brokers: Tuple[str, ...] = ()

@@ -52,6 +52,22 @@ METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("fault.active", "gauge", "faults", "fault episodes currently applied"),
     MetricSpec("fault.episodes", "counter", "faults", "fault episodes applied"),
     MetricSpec("fault.recovery_s", "histogram", "faults", "episode apply-to-revert duration"),
+    # -- gossip federation ---------------------------------------------------
+    MetricSpec("gossip.deaths", "counter", "gossip", "members declared dead"),
+    MetricSpec("gossip.false_suspects", "counter", "gossip", "suspicions refuted by the member"),
+    MetricSpec("gossip.fanout_queries", "counter", "gossip", "cross-shard discovery legs issued"),
+    MetricSpec("gossip.join_redirects", "counter", "gossip", "wrong-shard joins redirected"),
+    MetricSpec("gossip.members", "gauge", "gossip", "members tracked by an agent"),
+    MetricSpec("gossip.notifies", "counter", "gossip", "event-driven rumor pushes to the shard broker"),
+    MetricSpec("gossip.ping_reqs", "counter", "gossip", "indirect probes requested through proxies"),
+    MetricSpec("gossip.probes", "counter", "gossip", "direct SWIM probe rounds started"),
+    MetricSpec("gossip.refutations", "counter", "gossip", "self-refutations issued (incarnation bumps)"),
+    MetricSpec("gossip.rumors_sent", "counter", "gossip", "rumors piggybacked onto gossip traffic"),
+    MetricSpec("gossip.shard_handoffs", "counter", "gossip", "shards adopted from a dead broker"),
+    MetricSpec("gossip.shard_map_version", "gauge", "gossip", "shard map version a broker believes"),
+    MetricSpec("gossip.stale_shard_retries", "counter", "gossip", "joins retried after a stale-map redirect"),
+    MetricSpec("gossip.suppressed_promotions", "counter", "gossip", "standby promotions vetoed by gossip liveness"),
+    MetricSpec("gossip.suspects", "counter", "gossip", "members placed under suspicion"),
     # -- access-link flow scheduler ------------------------------------------
     MetricSpec("flow.active", "gauge", "simnet", "flows currently scheduled"),
     MetricSpec("flow.finished", "counter", "simnet", "flows completed"),
@@ -74,6 +90,9 @@ METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("net.retransmissions", "counter", "simnet", "retransmission attempts"),
     MetricSpec("net.transfer_attempts", "histogram", "simnet", "attempts per completed transfer"),
     # -- overlay file transfer ----------------------------------------------
+    MetricSpec("overlay.discovery_attempts", "counter", "overlay", "discovery queries issued by peers"),
+    MetricSpec("overlay.discovery_failures", "counter", "overlay", "discovery queries that timed out"),
+    MetricSpec("overlay.discovery_latency_s", "histogram", "overlay", "client-observed discovery latency"),
     MetricSpec("overlay.part_attempts", "histogram", "overlay", "send attempts per part"),
     MetricSpec("overlay.part_bulk_s", "histogram", "overlay", "bulk-phase duration per part"),
     MetricSpec("overlay.part_transfer_s", "histogram", "overlay", "total duration per part"),

@@ -40,6 +40,10 @@ TRACE_EVENTS: Tuple[TraceEventSpec, ...] = (
     TraceEventSpec("fault-apply", ("fault", "target"), "faults", "fault episode applied to a target"),
     TraceEventSpec("fault-revert", ("fault", "target"), "faults", "fault episode reverted"),
     TraceEventSpec("fault-truncated", ("fault", "target"), "faults", "episode cut short by end of run"),
+    # -- gossip federation ---------------------------------------------------
+    TraceEventSpec("gossip-dead", ("member", "by"), "gossip", "suspicion expired: member declared dead"),
+    TraceEventSpec("gossip-suspect", ("member", "by"), "gossip", "member placed under SWIM suspicion"),
+    TraceEventSpec("shard-handoff", ("shard", "to", "version"), "gossip", "shard adopted by a surviving broker"),
     # -- message transport ---------------------------------------------------
     TraceEventSpec("msg-drop-down", ("dst",), "simnet", "message dropped: destination down"),
     TraceEventSpec("msg-recv", ("src", "dst", "payload_kind", "latency"), "simnet", "message delivered"),

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import GroupMembershipError, UnknownPeerError
+from repro.errors import GroupMembershipError, HostDownError, UnknownPeerError
 from repro.overlay.advertisements import (
     Advertisement,
     GroupAdvertisement,
@@ -39,7 +39,7 @@ from repro.overlay.messages import (
     StatReport,
     StateSync,
 )
-from repro.overlay.peer import PeerNode
+from repro.overlay.peer import PeerNode, RequestTimeout
 from repro.overlay.statistics import PeerStats, PerformanceHistory, StalenessClock
 from repro.simnet.transport import Datagram
 
@@ -165,6 +165,9 @@ class Broker(PeerNode):
         #: (None = no recency filter unless a caller passes one).
         self.liveness_timeout_s = liveness_timeout_s
         self.registry: Dict[PeerId, PeerRecord] = {}
+        #: Peer-name -> record index (gossip rumors identify members by
+        #: name, not PeerId).
+        self._name_index: Dict[str, PeerRecord] = {}
         self.groups = GroupRegistry()
         #: Published advertisements by kind for discovery.
         self._adv_index: Dict[str, List[Advertisement]] = {
@@ -191,6 +194,11 @@ class Broker(PeerNode):
         #: Federated brokers: broker peer id -> advertisement.
         self.federated: Dict[PeerId, PeerAdvertisement] = {}
         self._federation_running = False
+        #: Gossip federation attachments (see :meth:`attach_federation`;
+        #: all None outside a gossip federation).
+        self.federation = None
+        self.gossip = None
+        self.shard_map = None
         #: Replication targets (standby/primary): peer id -> adv.
         self.replicas: Dict[PeerId, PeerAdvertisement] = {}
         self._replication_running = False
@@ -205,6 +213,10 @@ class Broker(PeerNode):
         self._m_state_syncs = reg.counter("broker.state_syncs")
         self._m_allocations = reg.counter("broker.allocations")
         self._m_registry_size = reg.gauge("broker.registry_size")
+        self._m_shard_handoffs = reg.counter("gossip.shard_handoffs")
+        self._m_shard_map_version = reg.gauge("gossip.shard_map_version")
+        self._m_fanout_queries = reg.counter("gossip.fanout_queries")
+        self._m_join_redirects = reg.counter("gossip.join_redirects")
 
     # -- maintenance ---------------------------------------------------------
 
@@ -258,13 +270,27 @@ class Broker(PeerNode):
         ``liveness_timeout_s`` additionally drops peers whose last sign
         of life (keepalive / report / digest) is older than the window
         — the broker's defence against silent churn: a crashed peer
-        never says goodbye, it just stops writing home.  When omitted,
-        the broker's configured default applies (see
+        never says goodbye, it just stops writing home.  On a
+        gossip-governed broker (federation attached) the *default*
+        window is disabled instead: there are no periodic beacons to
+        age out, and SWIM flips ``rec.online`` the moment a peer goes
+        suspect/dead, so recency filtering would only starve selection.
+        An explicitly passed window still applies.  The boundary
+        is pinned *inclusive*: a peer whose last sign of life is
+        exactly ``liveness_timeout_s`` old is still eligible (it is not
+        "older than the window"); it drops out the instant its age
+        strictly exceeds the window.  This matters when the window is
+        an exact multiple of the keepalive period — the common "3
+        keepalive periods" configuration — where a peer's age routinely
+        lands exactly on the boundary at sampling instants.  When
+        omitted, the broker's configured default applies (see
         ``ExperimentConfig.liveness_timeout_s``); pass an explicit
         ``None`` to disable the filter regardless of the default.
         """
         if liveness_timeout_s is _UNSET:
-            liveness_timeout_s = self.liveness_timeout_s
+            liveness_timeout_s = (
+                None if self.gossip is not None else self.liveness_timeout_s
+            )
         now = self.sim.now
         out = [
             rec
@@ -274,7 +300,9 @@ class Broker(PeerNode):
             and (include_remote or rec.is_local)
             and (
                 liveness_timeout_s is None
-                or now - rec.last_seen <= liveness_timeout_s
+                # Inclusive boundary: drop only when strictly older
+                # than the window (see docstring).
+                or not (now - rec.last_seen > liveness_timeout_s)
             )
         ]
         out.sort(key=lambda r: (r.joined_at, r.adv.name))
@@ -290,7 +318,27 @@ class Broker(PeerNode):
     def _on_join_request(self, dgram: Datagram) -> None:
         req: JoinRequest = dgram.payload
         self._m_joins.inc()
+        self.control_messages += 1
         now = self.sim.now
+        src = self.network.host(dgram.src)
+        if self.shard_map is not None and req.kind != "broker":
+            owner = self._shard_owner_for(req.hostname)
+            if owner is not None and owner != self.host.hostname:
+                # Wrong shard: refuse with a redirect carrying our
+                # (fresher) map so a stale client can retry correctly.
+                self._m_join_redirects.inc()
+                self.host.send(
+                    src,
+                    JoinAck(
+                        broker_id=self.peer_id,
+                        accepted=False,
+                        reason="wrong shard",
+                        redirect_hostname=owner,
+                        shard_map=self.shard_map.to_wire(),
+                    ),
+                    light=True,
+                )
+                return
         rec = self.registry.get(req.peer_id)
         if rec is None:
             adv = PeerAdvertisement(
@@ -307,6 +355,7 @@ class Broker(PeerNode):
             rec.perf = self.observed_perf(req.peer_id)
             rec.interaction = self.interaction_stats(req.hostname)
             self.registry[req.peer_id] = rec
+            self._name_index[req.name] = rec
             self._adv_index["peer"].append(adv)
             self._m_registry_size.set(len(self.registry))
         else:
@@ -317,10 +366,19 @@ class Broker(PeerNode):
                 # anything learned through federation or replication.
                 rec.home_broker = None
         self.directory[req.peer_id] = req.hostname
-        src = self.network.host(dgram.src)
         self.host.send(
             src, JoinAck(broker_id=self.peer_id, accepted=True), light=True
         )
+
+    def _shard_owner_for(self, hostname: str) -> Optional[str]:
+        """The owning broker for a host per our shard map, if known."""
+        try:
+            key = self.federation.shard_key_of(hostname)
+            return self.shard_map.owner_of(key)
+        except Exception:
+            # Unknown host/shard: admit locally rather than bounce a
+            # peer the map cannot place.
+            return None
 
     def _on_leave(self, dgram: Datagram) -> None:
         notice: LeaveNotice = dgram.payload
@@ -332,6 +390,7 @@ class Broker(PeerNode):
     def _on_keepalive(self, dgram: Datagram) -> None:
         beacon: KeepAlive = dgram.payload
         self._m_keepalives.inc()
+        self.control_messages += 1
         rec = self.registry.get(beacon.peer_id)
         if rec is None:
             return
@@ -351,6 +410,7 @@ class Broker(PeerNode):
     def _on_stat_report(self, dgram: Datagram) -> None:
         report: StatReport = dgram.payload
         self._m_stat_reports.inc()
+        self.control_messages += 1
         rec = self.registry.get(report.peer_id)
         if rec is None:
             return
@@ -370,18 +430,83 @@ class Broker(PeerNode):
     def _on_discovery_query(self, dgram: Datagram) -> None:
         query: DiscoveryQuery = dgram.payload
         self._m_queries.inc()
+        self.control_messages += 1
         now = self.sim.now
         matches = tuple(
             adv
             for adv in self._adv_index.get(query.adv_kind, ())
             if not adv.is_expired(now) and _matches(adv, query.attrs)
         )
+        if (
+            self.shard_map is not None
+            and not query.fanout
+            and not matches
+            and len(self.shard_map.brokers) > 1
+        ):
+            # Local shard came up empty: resolve across the federation
+            # before answering (the requester sees one reply either way).
+            self.sim.process(
+                self._federated_fanout(query, dgram.src),
+                name=f"fanout@{self.name}",
+            )
+            return
         src = self.network.host(dgram.src)
         self.host.send(
             src,
             DiscoveryResponse(query_id=query.query_id, advertisements=matches),
             light=True,
         )
+
+    def _federated_fanout(self, query: DiscoveryQuery, src_hostname: str):
+        """Generator process: resolve a miss across the other shards.
+
+        Queries the other alive brokers sequentially (deterministic map
+        order) with ``fanout=True`` legs (no recursion), merges their
+        matches, and answers the original requester on its query id.
+        """
+        merged: list = []
+        for hostname in self.shard_map.brokers:
+            if hostname == self.host.hostname:
+                continue
+            if self.gossip is not None:
+                other = self.federation.brokers.get(hostname)
+                if other is not None and not self.gossip.considers_alive(
+                    other.name
+                ):
+                    continue
+            qid = self.next_query_id()
+            leg = DiscoveryQuery(
+                requester=query.requester,
+                adv_kind=query.adv_kind,
+                attrs=query.attrs,
+                query_id=qid,
+                fanout=True,
+            )
+            self._m_fanout_queries.inc()
+            try:
+                resp: DiscoveryResponse = yield self.sim.process(
+                    self.request(
+                        self.network.host(hostname),
+                        leg,
+                        ("disc", qid),
+                        timeout=self.federation.config.fanout_timeout_s,
+                        retries=1,
+                        light=True,
+                    )
+                )
+            except (RequestTimeout, HostDownError):
+                continue
+            for adv in resp.advertisements:
+                if adv not in merged:
+                    merged.append(adv)
+        if self.host.is_up:
+            self.host.send(
+                self.network.host(src_hostname),
+                DiscoveryResponse(
+                    query_id=query.query_id, advertisements=tuple(merged)
+                ),
+                light=True,
+            )
 
     def _on_group_join(self, dgram: Datagram) -> None:
         req: GroupJoinRequest = dgram.payload
@@ -396,6 +521,92 @@ class Broker(PeerNode):
         except GroupMembershipError:
             ack = GroupJoinAck(group_id=req.group_id, accepted=False)
         self.host.send(src, ack, light=True)
+
+    # -- gossip federation (sharded registry; see repro.gossip) ---------------
+
+    def attach_federation(self, federation, agent) -> None:
+        """Join a gossip federation: adopt its map, run its detector.
+
+        ``agent`` is this broker's :class:`~repro.gossip.swim.SwimAgent`
+        (full mesh over the other federation brokers).  The agent's
+        membership view becomes the registry's liveness source: rumors
+        about registered peers toggle their records' ``online`` flag,
+        replacing the per-peer keepalive recency window.
+        """
+        from repro.gossip.messages import ShardMapUpdate
+
+        self.federation = federation
+        self.gossip = agent
+        agent.on_change.append(self._on_gossip_liveness)
+        self.host.on_message(ShardMapUpdate, self._on_shard_map_update)
+        self.adopt_shard_map(federation.shard_map)
+        agent.start()
+
+    def adopt_shard_map(self, new_map) -> tuple:
+        """Adopt a fresher shard map; returns the shard keys gained.
+
+        Emits one ``shard-handoff`` trace per gained shard.  Maps at or
+        below the current version are ignored (idempotent under
+        re-delivery and convergent recomputation).
+        """
+        old = self.shard_map
+        if old is not None and new_map.version <= old.version:
+            return ()
+        mine = self.host.hostname
+        before = old.shards_of(mine) if old is not None else ()
+        after = new_map.shards_of(mine)
+        gained = tuple(k for k in after if k not in before)
+        self.shard_map = new_map
+        self._m_shard_map_version.set(new_map.version)
+        if gained and old is not None:
+            self._m_shard_handoffs.inc(len(gained))
+            for key in gained:
+                self.network.tracer.record(
+                    "shard-handoff",
+                    self.sim.now,
+                    shard=key,
+                    to=self.name,
+                    version=new_map.version,
+                )
+        return gained
+
+    def _on_shard_map_update(self, dgram: Datagram) -> None:
+        from repro.gossip.shard import ShardMap
+
+        update = dgram.payload
+        self.control_messages += 1
+        incoming = ShardMap.from_wire(
+            update.version, update.assignment, update.brokers
+        )
+        old = self.shard_map
+        gained = self.adopt_shard_map(incoming)
+        if self.federation is not None:
+            if gained and old is not None:
+                # Shards gained through a peer's recomputation: *we*
+                # must seed the broker-death rumor into them — their
+                # peers are now ours to rehome, and the detecting
+                # broker only seeds the shards it gained itself.
+                for hostname in old.brokers:
+                    if hostname in incoming.brokers:
+                        continue
+                    self.federation.seed_broker_death(
+                        self, hostname, gained
+                    )
+            if self.federation.shard_map.version < incoming.version:
+                self.federation.shard_map = incoming
+
+    def _on_gossip_liveness(self, state) -> None:
+        """Project a SWIM view change onto the registry record."""
+        rec = self._name_index.get(state.name)
+        if rec is None:
+            return
+        if state.status == "alive":
+            rec.online = True
+            rec.last_seen = self.sim.now
+        elif state.status == "dead":
+            rec.online = False
+        # A suspect stays eligible until declared dead: SWIM gives the
+        # member the suspicion window to refute before we act on it.
 
     # -- federation ---------------------------------------------------------------
 
@@ -497,6 +708,7 @@ class Broker(PeerNode):
                 rec.perf = self.observed_perf(entry.peer_id)
                 rec.interaction = self.interaction_stats(entry.hostname)
                 self.registry[entry.peer_id] = rec
+                self._name_index[entry.name] = rec
                 self.directory[entry.peer_id] = entry.hostname
             if entry_seen >= rec.last_seen:
                 rec.online = entry.online

@@ -27,18 +27,52 @@ class DiscoveryService:
         self.sim = peer.sim
         #: Local cache per advertisement kind.
         self._cache: Dict[str, List[Advertisement]] = {}
+        #: Everything this peer published, in publish order — the
+        #: source of truth for :meth:`republish` after a rehome (the
+        #: old home's index dies with it).
+        self.published: List[Advertisement] = []
+        reg = peer.metrics
+        self._m_latency = reg.histogram(
+            "overlay.discovery_latency_s",
+            bounds=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0, 120.0),
+        )
+        self._m_attempts = reg.counter("overlay.discovery_attempts")
+        self._m_failures = reg.counter("overlay.discovery_failures")
 
     def publish(self, adv: Advertisement) -> None:
         """Push an advertisement to the broker's index (fire-and-forget)."""
         peer = self.peer
         if peer.broker_adv is None:
             raise NotConnectedError(f"{peer.name} has no broker to publish to")
+        if adv not in self.published:
+            self.published.append(adv)
         broker_host = peer.network.host(peer.broker_adv.hostname)
         peer.host.send(
             broker_host,
             PublishAdvertisement(publisher=peer.peer_id, adv=adv),
             light=True,
         )
+
+    def republish(self) -> int:
+        """Re-push every still-fresh published advertisement to the
+        *current* broker.  Called after a rehome: the old home's index
+        died with it, so the new shard owner must relearn what this
+        peer shares.  Returns how many advertisements were re-sent.
+        """
+        peer = self.peer
+        if peer.broker_adv is None:
+            raise NotConnectedError(f"{peer.name} has no broker to publish to")
+        now = self.sim.now
+        broker_host = peer.network.host(peer.broker_adv.hostname)
+        fresh = [a for a in self.published if not a.is_expired(now)]
+        self.published = fresh
+        for adv in fresh:
+            peer.host.send(
+                broker_host,
+                PublishAdvertisement(publisher=peer.peer_id, adv=adv),
+                light=True,
+            )
+        return len(fresh)
 
     def query(
         self,
@@ -62,9 +96,16 @@ class DiscoveryService:
             attrs=dict(attrs or {}),
             query_id=qid,
         )
-        resp: DiscoveryResponse = yield self.sim.process(
-            peer.request(broker_host, query, ("disc", qid), light=True)
-        )
+        self._m_attempts.inc()
+        started = self.sim.now
+        try:
+            resp: DiscoveryResponse = yield self.sim.process(
+                peer.request(broker_host, query, ("disc", qid), light=True)
+            )
+        except Exception:
+            self._m_failures.inc()
+            raise
+        self._m_latency.observe(self.sim.now - started)
         advs = resp.advertisements
         cache = self._cache.setdefault(adv_kind, [])
         for adv in advs:

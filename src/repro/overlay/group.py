@@ -43,6 +43,16 @@ class PeerGroup:
         return self.adv.name
 
     @property
+    def shard_key(self) -> str:
+        """Federation shard key for this group (``group:<name>``).
+
+        A federation shards its registry by key; peergroups shard under
+        this name so a group's governor duties can be pinned to one
+        broker (see :mod:`repro.gossip.shard`).
+        """
+        return f"group:{self.name}"
+
+    @property
     def members(self) -> tuple[PeerId, ...]:
         """Current members in join order (read-only view)."""
         return tuple(self._members)

@@ -71,11 +71,20 @@ class JoinRequest:
 
 @dataclass(frozen=True)
 class JoinAck:
-    """Broker admits the peer and announces its own identity."""
+    """Broker admits the peer and announces its own identity.
+
+    In a federation, a broker refusing a wrong-shard join sets
+    ``redirect_hostname`` to the shard's owner and ``shard_map`` to its
+    own (fresher) map's wire triple, so a client with a stale map can
+    retry against the right broker (the stale-shard-map retry path).
+    """
 
     broker_id: PeerId
     accepted: bool
     reason: str = ""
+    redirect_hostname: str = ""
+    #: ``ShardMap.to_wire()`` triple, or ``None`` outside federations.
+    shard_map: Any = None
 
 
 @dataclass(frozen=True)
@@ -195,6 +204,9 @@ class DiscoveryQuery:
     adv_kind: str
     attrs: Mapping[str, Any] = field(default_factory=dict)
     query_id: int = 0
+    #: True on a broker-to-broker leg of a federated fan-out; the
+    #: answering broker must resolve locally only (no recursion).
+    fanout: bool = False
 
 
 @dataclass(frozen=True)

@@ -74,8 +74,15 @@ class PeerConfig:
 
     #: Liveness beacon period (seconds).
     keepalive_interval_s: float = 30.0
+    #: Whether the per-peer keepalive beacon loop runs at all.  The
+    #: gossip-federated control plane turns this off: SWIM probing plus
+    #: event-driven ``GossipNotify`` replaces periodic beacons as the
+    #: broker's liveness source (see :mod:`repro.gossip`).
+    keepalive_enabled: bool = True
     #: Statistics push period (seconds).
     stat_report_interval_s: float = 60.0
+    #: Whether the periodic statistics push loop runs.
+    stat_reports_enabled: bool = True
     #: Timeout for the file-transfer petition round.  Must exceed the
     #: slowest node's first-contact overhead (SC7 ~ 27 s).
     petition_timeout_s: float = 120.0
@@ -173,6 +180,7 @@ class PeerNode:
             "peer.pending_tasks", bounds=(0, 1, 2, 5, 10, 20, 50, 100)
         )
         self._m_request_timeouts = self.metrics.counter("peer.request_timeouts")
+        self._m_stale_retries = self.metrics.counter("gossip.stale_shard_retries")
 
         #: Local statistics (this peer's own accounting).
         self.stats = PeerStats()
@@ -190,6 +198,15 @@ class PeerNode:
 
         self.broker_adv: Optional[PeerAdvertisement] = None
         self.online = False
+        #: Control-plane message count (gossip probes/acks/notifies and
+        #: federation traffic handled by this peer).  A plain integer —
+        #: registry-independent, so experiment rows stay deterministic.
+        self.control_messages = 0
+        #: SWIM agent, when the federation wires one (see repro.gossip).
+        self.gossip_agent = None
+        #: This peer's (possibly stale) copy of the federation shard
+        #: map; None outside federations.
+        self.shard_map = None
 
         self._waiters: Dict[Any, list[Event]] = {}
         self._next_query_id = 0
@@ -430,14 +447,20 @@ class PeerNode:
         )
         if not ack.accepted:
             raise NotConnectedError(f"{self.name}: join refused: {ack.reason}")
+        self._finalize_join(broker_adv, ack)
+        return ack
+
+    def _finalize_join(self, broker_adv: PeerAdvertisement, ack: JoinAck) -> None:
+        """Adopt an accepted broker: session, directory, periodic loops."""
         self.broker_adv = broker_adv
         self.directory[ack.broker_id] = broker_adv.hostname
         self.online = True
         if not self.stats.session_active:
             self.stats.start_session()
-        self.sim.process(self._keepalive_loop(), name=f"keepalive@{self.name}")
-        self.sim.process(self._stat_report_loop(), name=f"stats@{self.name}")
-        return ack
+        if self.config.keepalive_enabled:
+            self.sim.process(self._keepalive_loop(), name=f"keepalive@{self.name}")
+        if self.config.stat_reports_enabled:
+            self.sim.process(self._stat_report_loop(), name=f"stats@{self.name}")
 
     def disconnect(self) -> None:
         """Leave the overlay: notify the broker and close the session."""

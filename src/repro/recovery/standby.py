@@ -13,7 +13,14 @@ The :class:`FailoverDirector` binds a primary/standby broker pair:
 * promotion is sticky (no automatic fail-back): when the old primary
   recovers it rejoins as a replica of the acting leader, and peers that
   re-register directly are reconciled (their records become local again
-  wherever they registered).
+  wherever they registered);
+* when the standby runs a gossip agent (federated deployments, see
+  :mod:`repro.gossip`), its SWIM view can **veto** a promotion: if the
+  agent still believes the primary alive with a recent confirmation —
+  e.g. an indirect ping-req path reached it while the standby's own
+  probes are cut by a partial partition — the miss counter resets
+  instead of promoting, so a partitioned-but-alive broker is never
+  double-promoted.
 
 Peer-side failover rides on the existing
 :meth:`~repro.overlay.peer.PeerNode.enable_failover`: every client arms
@@ -79,6 +86,10 @@ class FailoverDirector:
         self._m_latency = reg.histogram(
             "recovery.failover_latency_s", bounds=_LATENCY_BUCKETS
         )
+        self._m_suppressed = reg.counter("gossip.suppressed_promotions")
+        #: Suppressions recorded (sim time, primary status) — exposed
+        #: for tests and the resilience matrix.
+        self.suppressions: List[float] = []
 
     @property
     def leader(self) -> "Broker":
@@ -127,8 +138,34 @@ class FailoverDirector:
             if self.suspected_at is None:
                 self.suspected_at = probe_started
             if misses >= cfg.failover_miss_threshold:
+                if self._gossip_refutes():
+                    # SWIM still vouches for the primary: a partial
+                    # partition cut our probes, not the primary itself.
+                    self._m_suppressed.inc()
+                    self.suppressions.append(self.sim.now)
+                    misses = 0
+                    self.suspected_at = None
+                    continue
                 self._promote()
                 return
+
+    def _gossip_refutes(self) -> bool:
+        """True when the standby's gossip view vouches for the primary.
+
+        Requires both an ``alive`` status *and* a confirmation newer
+        than when we first suspected it — a stale alive entry (no rumor
+        traffic at all) must not block a legitimate promotion.
+        """
+        agent = self.standby.gossip_agent
+        if agent is None:
+            agent = self.standby.gossip
+        if agent is None:
+            return False
+        st = agent.state_of(self.primary.name)
+        if st is None or st.status != "alive":
+            return False
+        since = self.suspected_at if self.suspected_at is not None else self.sim.now
+        return st.confirmed_at >= since
 
     def _probe(self):
         """Generator process: one standby->primary liveness probe."""

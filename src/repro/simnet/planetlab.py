@@ -50,6 +50,7 @@ __all__ = [
     "TABLE1_HOSTNAMES",
     "PlanetLabTestbed",
     "build_testbed",
+    "federation_hostnames",
     "synthetic_hostnames",
 ]
 
@@ -295,6 +296,21 @@ def _generic_profile(hostname: str) -> _ClientProfile:
 _BROKER = _ClientProfile(0.004, 0.20, 20.0, 20.0, 0.90, 1.00, 0.001, 2.00)
 
 
+def federation_hostnames(n: int) -> tuple[str, ...]:
+    """Hostnames of an ``n``-broker federation.
+
+    Broker 1 is always the calibrated cluster head
+    (:data:`BROKER_HOSTNAME`); additional brokers are further nodes of
+    the same nozomi cluster (``nozomi3..``, skipping ``nozomi2`` which
+    is reserved for the standby role), all with the dedicated
+    head-node profile.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1 federation brokers, got {n}")
+    extras = tuple(f"nozomi{i}.lsi.upc.edu" for i in range(3, n + 2))
+    return (BROKER_HOSTNAME,) + extras
+
+
 def synthetic_hostnames(n: int) -> tuple[str, ...]:
     """``n`` synthetic sliver hostnames for large-pool studies.
 
@@ -334,6 +350,9 @@ class PlanetLabTestbed:
     simpleclients: Dict[str, str]
     #: Hostname of the standby broker (None unless provisioned).
     standby_hostname: "str | None" = None
+    #: Hostnames of the broker federation, in shard-map order (just
+    #: the head broker outside federated deployments).
+    federation: tuple = ()
 
     def sc_hostname(self, label: str) -> str:
         """Hostname for an SC label (e.g. ``'SC7'``)."""
@@ -369,6 +388,7 @@ def build_testbed(
     include_full_slice: bool = False,
     synthetic_nodes: int = 0,
     with_standby: bool = False,
+    federation_brokers: int = 1,
 ) -> PlanetLabTestbed:
     """Build the calibrated PlanetLab testbed.
 
@@ -377,7 +397,9 @@ def build_testbed(
     remaining Table 1 nodes with a generic sliver profile.
     ``synthetic_nodes`` appends that many :func:`synthetic_hostnames`
     slivers on top — the substrate for the 100/500/1000-peer scale
-    study.
+    study.  ``federation_brokers > 1`` provisions that many broker
+    nodes (see :func:`federation_hostnames`) for sharded-registry
+    federation runs.
     """
     if synthetic_nodes < 0:
         raise ValueError(f"need synthetic_nodes >= 0, got {synthetic_nodes}")
@@ -385,7 +407,9 @@ def build_testbed(
     for (a, b), rtt in _REGION_RTTS.items():
         topo.set_region_rtt(a, b, rtt)
 
-    topo.add_node(_spec_from_profile(BROKER_HOSTNAME, _BROKER))
+    federation = federation_hostnames(federation_brokers)
+    for hostname in federation:
+        topo.add_node(_spec_from_profile(hostname, _BROKER))
     if with_standby:
         topo.add_node(_spec_from_profile(STANDBY_HOSTNAME, _BROKER))
     sc_map: Dict[str, str] = {}
@@ -411,4 +435,5 @@ def build_testbed(
         broker_hostname=BROKER_HOSTNAME,
         simpleclients=sc_map,
         standby_hostname=STANDBY_HOSTNAME if with_standby else None,
+        federation=federation,
     )

@@ -1,0 +1,19 @@
+"""Smoke test: examples/federation.py runs end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+EXAMPLE = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "federation.py"
+)
+
+
+def test_federation_example_runs(capsys):
+    runpy.run_path(str(EXAMPLE), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "shard map v1" in out
+    assert "resolved notes.pdf" in out
+    assert "crashing" in out
+    assert "still resolves notes.pdf" in out

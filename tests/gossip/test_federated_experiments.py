@@ -1,0 +1,75 @@
+"""run_federated: smoke cells, acceptance bounds, bit-identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, scale
+from repro.perf.parallel import set_default_workers
+
+CONFIG = ExperimentConfig(seed=2007, repetitions=2)
+
+
+@pytest.fixture(autouse=True)
+def fed_smoke(monkeypatch):
+    monkeypatch.setenv("REPRO_FED_SMOKE", "1")
+
+
+def _fingerprint(result: scale.FederatedResult):
+    """NaN-stable identity of a federated result (NaN != NaN, so the
+    dataclasses cannot be compared directly; their reprs can)."""
+    return (
+        result.cells,
+        tuple((key, repr(summary)) for key, summary in sorted(result.summaries.items())),
+    )
+
+
+class TestSmokeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        import os
+
+        os.environ["REPRO_FED_SMOKE"] = "1"  # class-scoped, pre-fixture
+        try:
+            return scale.run_federated(CONFIG)
+        finally:
+            os.environ.pop("REPRO_FED_SMOKE", None)
+
+    def test_cells_present(self, result):
+        assert result.cells == (
+            "baseline/100", "federated/200", "killbroker/200"
+        )
+
+    def test_federation_cost_is_sublinear(self, result):
+        assert result.sublinearity() < 1.0
+
+    def test_degradation_meets_acceptance_bound(self, result):
+        assert result.discovery_success("killbroker/200") >= 0.95
+        assert result.value("killbroker/200", "rehome_rate") >= 0.95
+        assert result.goodput_retention("killbroker/200") > 0.0
+
+    def test_no_false_suspicions_in_stable_cells(self, result):
+        for cell in ("baseline/100", "federated/200"):
+            assert result.value(cell, "false_suspect_rate") == 0.0
+
+    def test_table_renders(self, result):
+        out = result.table()
+        assert "killbroker/200" in out
+        assert "broker msg/peer/100s" in out
+
+
+class TestBitIdentity:
+    def test_same_seed_is_bit_identical(self):
+        a = scale.run_federated(CONFIG)
+        b = scale.run_federated(CONFIG)
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_serial_matches_parallel(self):
+        set_default_workers(1)
+        try:
+            serial = scale.run_federated(CONFIG)
+            set_default_workers(2)
+            parallel = scale.run_federated(CONFIG)
+        finally:
+            set_default_workers(None)
+        assert _fingerprint(serial) == _fingerprint(parallel)

@@ -1,0 +1,91 @@
+"""Shard map unit tests: determinism, handoff, wire round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gossip.shard import ShardMap, build_shard_map
+
+KEYS = ["region:eu", "region:na", "region:asia", "region:sa", "region:oc"]
+BROKERS = ["b2.example", "b0.example", "b1.example"]
+
+
+class TestBuild:
+    def test_initial_map_is_deterministic(self):
+        a = build_shard_map(KEYS, BROKERS)
+        b = build_shard_map(list(reversed(KEYS)), sorted(BROKERS))
+        assert a == b
+        assert a.version == 1
+        assert a.brokers == tuple(sorted(BROKERS))
+
+    def test_round_robin_over_sorted(self):
+        m = build_shard_map(KEYS, BROKERS)
+        keys = sorted(KEYS)
+        brokers = sorted(BROKERS)
+        for i, (key, owner) in enumerate(m.assignment):
+            assert key == keys[i]
+            assert owner == brokers[i % len(brokers)]
+
+    def test_owner_of_unknown_shard_raises(self):
+        m = build_shard_map(KEYS, BROKERS)
+        assert m.owner_of("region:eu") in m.brokers
+        with pytest.raises(ConfigError):
+            m.owner_of("region:mars")
+
+    def test_needs_a_broker(self):
+        with pytest.raises(ConfigError):
+            build_shard_map(KEYS, [])
+
+
+class TestWithoutBroker:
+    def test_orphans_move_to_survivors_only(self):
+        m = build_shard_map(KEYS, BROKERS)
+        dead = m.owner_of("region:eu")
+        m2 = m.without_broker(dead)
+        assert m2.version == m.version + 1
+        assert dead not in m2.brokers
+        assert set(m2.brokers) == set(m.brokers) - {dead}
+        for key, owner in m2.assignment:
+            assert owner != dead
+            if m.owner_of(key) != dead:
+                assert owner == m.owner_of(key), "surviving shards untouched"
+
+    def test_recomputation_is_a_pure_function(self):
+        m = build_shard_map(KEYS, BROKERS)
+        dead = sorted(BROKERS)[1]
+        assert m.without_broker(dead) == m.without_broker(dead)
+
+    def test_unknown_broker_still_bumps_version(self):
+        m = build_shard_map(KEYS, BROKERS)
+        m2 = m.without_broker("nobody.example")
+        assert m2.version == m.version + 1
+        assert m2.assignment == m.assignment
+
+    def test_cannot_remove_last_broker(self):
+        m = build_shard_map(KEYS, ["solo.example"])
+        with pytest.raises(ConfigError):
+            m.without_broker("solo.example")
+
+    def test_shards_of_partitions_the_keyspace(self):
+        m = build_shard_map(KEYS, BROKERS)
+        owned = [k for b in m.brokers for k in m.shards_of(b)]
+        assert sorted(owned) == sorted(KEYS)
+
+
+class TestWire:
+    def test_round_trip(self):
+        m = build_shard_map(KEYS, BROKERS).without_broker(sorted(BROKERS)[0])
+        assert ShardMap.from_wire(*m.to_wire()) == m
+
+    def test_rejects_duplicate_shards(self):
+        with pytest.raises(ConfigError):
+            ShardMap(
+                version=1,
+                assignment=(("region:eu", "a"), ("region:eu", "b")),
+                brokers=("a", "b"),
+            )
+
+    def test_rejects_bad_version(self):
+        with pytest.raises(ConfigError):
+            ShardMap(version=0, assignment=(), brokers=("a",))

@@ -31,7 +31,8 @@ class TestCli:
     def test_artifact_catalog_complete(self):
         assert set(ARTIFACTS) == {
             "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-            "scale", "scale-large", "churn", "resilience", "swarming",
+            "scale", "scale-large", "scale-federated", "churn",
+            "resilience", "swarming",
         }
 
     def test_default_run_excludes_opt_in_artifacts(self):
